@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all test race bench repro examples fmt vet cover
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artefact (Fig. 9, Fig. 10, Table IV, ablations).
+repro:
+	$(GO) run ./cmd/veinfo
+	$(GO) run ./cmd/hambench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/cg
+	$(GO) run ./examples/halo
+	$(GO) run ./examples/overlap
+	$(GO) run ./examples/loadbalance
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/tcpcluster
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...

@@ -1,0 +1,92 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§V) from the simulated machine:
+//
+//	Fig. 9   — function offload cost, VH to local VE (three systems)
+//	Fig. 10  — data-transfer bandwidth vs size, four panels
+//	Table IV — maximum PCIe bandwidths per method and direction
+//	§V-A     — second-socket (UPI) offload penalty
+//	plus the ablations called out in DESIGN.md (huge pages, 4dma bulk
+//	translation, poll interval, buffer count, result-return path).
+//
+// The same entry points back both the cmd/hambench tool and the testing.B
+// benchmarks in the repository root, so the printed artefacts and the
+// benchmark metrics always agree.
+package bench
+
+import (
+	"fmt"
+
+	"hamoffload/internal/units"
+	"hamoffload/offload"
+)
+
+// Point is one measurement of a size sweep.
+type Point struct {
+	Size  int64   // transfer size in bytes
+	GiBps float64 // achieved bandwidth
+	US    float64 // time per operation in microseconds
+}
+
+// Series is one curve of Fig. 10.
+type Series struct {
+	Method    string // "VEO Read/Write", "VE User DMA", "VE SHM/LHM"
+	Direction string // "VH=>VE" or "VE=>VH"
+	Points    []Point
+}
+
+// Max returns the series' peak bandwidth.
+func (s Series) Max() Point {
+	var best Point
+	for _, p := range s.Points {
+		if p.GiBps > best.GiBps {
+			best = p
+		}
+	}
+	return best
+}
+
+// At returns the point for an exact size.
+func (s Series) At(size int64) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Size == size {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// PowerOfTwoSizes returns the sweep sizes from lo to hi inclusive.
+func PowerOfTwoSizes(lo, hi int64) []int64 {
+	var out []int64
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// sizeLabel formats a byte size like the paper's axes.
+func sizeLabel(n int64) string { return units.Bytes(n).String() }
+
+// benchEmpty is the empty kernel every offload-cost measurement uses — "the
+// minimal cost that occurs with every offload" (§V-A).
+var benchEmpty = offload.NewFunc0[offload.Unit]("bench.empty",
+	func(c *offload.Ctx) (offload.Unit, error) { return offload.Unit{}, nil })
+
+// gibps converts (bytes, microseconds) to GiB/s.
+func gibps(bytes int64, us float64) float64 {
+	if us <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(units.GiB) / (us / 1e6)
+}
+
+func fmtGiBps(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

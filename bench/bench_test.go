@@ -1,0 +1,428 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hamoffload/internal/units"
+)
+
+// TestFig9ShapeMatchesPaper verifies the headline comparison: who wins, and
+// by roughly what factor (§V-A).
+func TestFig9ShapeMatchesPaper(t *testing.T) {
+	r, err := Fig9(Fig9Config{Reps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.HAMDMAUS < r.VEONativeUS && r.VEONativeUS < r.HAMVEOUS) {
+		t.Fatalf("ordering broken: DMA=%.1f native=%.1f HAM-VEO=%.1f",
+			r.HAMDMAUS, r.VEONativeUS, r.HAMVEOUS)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"HAM-DMA us", r.HAMDMAUS, 6.1, 0.25},
+		{"HAM-VEO us", r.HAMVEOUS, 432, 0.25},
+		{"native VEO us", r.VEONativeUS, 80, 0.25},
+		{"HAM-VEO/native", r.HAMVEOOverNative, 5.4, 0.3},
+		{"native/HAM-DMA", r.NativeOverDMA, 13.1, 0.3},
+		{"HAM-VEO/HAM-DMA", r.HAMVEOOverDMA, 70.8, 0.3},
+	}
+	for _, c := range checks {
+		if c.got < c.want*(1-c.tol) || c.got > c.want*(1+c.tol) {
+			t.Errorf("%s = %.2f, want ≈%.1f (±%.0f%%)", c.name, c.got, c.want, c.tol*100)
+		}
+	}
+}
+
+// TestFig9SecondSocket reproduces the §V-A UPI note: up to ~1 µs extra.
+func TestFig9SecondSocket(t *testing.T) {
+	local, err := Fig9(Fig9Config{Reps: 60, Socket: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Fig9(Fig9Config{Reps: 60, Socket: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := remote.HAMDMAUS - local.HAMDMAUS
+	if extra <= 0 || extra > 1.2 {
+		t.Errorf("UPI penalty on DMA protocol = %.2f us, want (0, ~1]", extra)
+	}
+}
+
+// fig10Small runs a reduced sweep for the shape tests (full range is
+// exercised by the root-level benchmarks and cmd/hambench).
+func fig10Small(t *testing.T) []Series {
+	t.Helper()
+	series, err := Fig10(Fig10Config{
+		MaxSize:     (16 * units.MiB).Int64(),
+		InstMaxSize: (256 * units.KiB).Int64(),
+		Reps:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+// TestFig10Shapes verifies the qualitative claims of §V-B on a reduced
+// sweep: user DMA beats VEO everywhere, saturates much earlier, and SHM/LHM
+// are slow in bulk but SHM wins for tiny VE→VH messages.
+func TestFig10Shapes(t *testing.T) {
+	series := fig10Small(t)
+	get := func(method, dir string) Series {
+		for _, s := range series {
+			if s.Method == method && s.Direction == dir {
+				return s
+			}
+		}
+		t.Fatalf("missing series %s %s", method, dir)
+		return Series{}
+	}
+	veoUp, veoDown := get(MethodVEO, DirUp), get(MethodVEO, DirDown)
+	dmaUp, dmaDown := get(MethodDMA, DirUp), get(MethodDMA, DirDown)
+	shmUp, lhmDown := get(MethodInst, DirUp), get(MethodInst, DirDown)
+
+	// "VE user DMA is always faster than VEO's read and write."
+	for i, p := range dmaDown.Points {
+		if v := veoDown.Points[i]; p.US >= v.US {
+			t.Errorf("user DMA down not faster at %s: %.2f vs %.2f us", sizeLabel(p.Size), p.US, v.US)
+		}
+	}
+	for i, p := range dmaUp.Points {
+		if v := veoUp.Points[i]; p.US >= v.US {
+			t.Errorf("user DMA up not faster at %s: %.2f vs %.2f us", sizeLabel(p.Size), p.US, v.US)
+		}
+	}
+
+	// User DMA reaches ≥90 % of its peak by 1 MiB; VEO is still below 80 %
+	// there (it needs ~64 MiB).
+	oneMiB := units.MiB.Int64()
+	dmaPeak, veoPeak := dmaUp.Max().GiBps, veoUp.Max().GiBps
+	if p, ok := dmaUp.At(oneMiB); !ok || p.GiBps < 0.9*dmaPeak {
+		t.Errorf("user DMA at 1MiB = %.2f, want >= 90%% of peak %.2f", p.GiBps, dmaPeak)
+	}
+	if p, ok := veoUp.At(oneMiB); !ok || p.GiBps > 0.8*veoPeak {
+		t.Errorf("VEO at 1MiB = %.2f, should be < 80%% of peak %.2f", p.GiBps, veoPeak)
+	}
+
+	// "Transferring data from the VE to the VH is in general faster." (For
+	// VEO the direction flip only shows at >64 MiB where the read-path setup
+	// amortises; the full-size check lives in TestTableIVPeaks.)
+	if dmaUp.Max().GiBps <= dmaDown.Max().GiBps {
+		t.Error("user DMA up peak should exceed down peak")
+	}
+
+	// SHM beats user DMA up to 256 B and not at 512 B (§V-B).
+	if c := Crossover(shmUp, dmaUp); c != 256 {
+		t.Errorf("SHM/userDMA crossover = %d B, want 256", c)
+	}
+	// SHM beats VEO reads for small messages (paper: up to 32 KiB; our
+	// calibration puts it at ~8-16 KiB, recorded in EXPERIMENTS.md).
+	if c := Crossover(shmUp, veoUp); c < 4096 || c > 64*1024 {
+		t.Errorf("SHM/VEO-read crossover = %d B, want small-KiB range", c)
+	}
+	// LHM is the slowest bulk path.
+	if p, ok := lhmDown.At(256 * 1024); ok {
+		if v, _ := veoDown.At(256 * 1024); p.GiBps >= v.GiBps {
+			t.Error("LHM should be far slower than VEO for bulk")
+		}
+	}
+}
+
+// TestTableIVPeaks checks the absolute peaks against the paper's table at a
+// full 256 MiB sweep for the DMA/VEO methods.
+func TestTableIVPeaks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size sweep")
+	}
+	series, err := Fig10(Fig10Config{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TableIV(series)
+	want := map[string][2]float64{
+		MethodVEO:  {9.9, 10.4},
+		MethodDMA:  {10.6, 11.1},
+		MethodInst: {0.01, 0.06},
+	}
+	for _, r := range rows {
+		w := want[r.Method]
+		if r.DownGiBps < w[0]*0.9 || r.DownGiBps > w[0]*1.1 {
+			t.Errorf("%s down peak = %.3f, want ≈%.2f", r.Method, r.DownGiBps, w[0])
+		}
+		if r.UpGiBps < w[1]*0.9 || r.UpGiBps > w[1]*1.1 {
+			t.Errorf("%s up peak = %.3f, want ≈%.2f", r.Method, r.UpGiBps, w[1])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-machine sweeps")
+	}
+	t.Run("hugepages", func(t *testing.T) {
+		rows, err := AblateHugePages((16 * units.MiB).Int64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// rows: [huge/4dma, huge/naive, 4k/4dma, 4k/naive]. 4 KiB pages with
+		// the naive manager must be clearly slower than huge pages.
+		if rows[3].Value >= rows[1].Value*0.9 {
+			t.Errorf("4KiB naive (%.2f) should be well below huge naive (%.2f)",
+				rows[3].Value, rows[1].Value)
+		}
+		// The 4dma manager rescues the 4 KiB case.
+		if rows[2].Value <= rows[3].Value {
+			t.Errorf("4dma (%.2f) should beat naive (%.2f) on 4KiB pages",
+				rows[2].Value, rows[3].Value)
+		}
+	})
+	t.Run("poll-interval", func(t *testing.T) {
+		rows, err := AblatePollInterval([]int64{50, 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[0].Value >= rows[1].Value {
+			t.Errorf("finer polling (%.2f us) should beat coarse (%.2f us)",
+				rows[0].Value, rows[1].Value)
+		}
+	})
+	t.Run("result-path", func(t *testing.T) {
+		rows, err := AblateResultPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// §V-B: SHM stores beat a DMA write for small results.
+		if rows[0].Value >= rows[1].Value {
+			t.Errorf("SHM result path (%.2f us) should beat DMA (%.2f us)",
+				rows[0].Value, rows[1].Value)
+		}
+	})
+	t.Run("buffer-count", func(t *testing.T) {
+		rows, err := AblateBufferCount([]int{1, 8}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With a single buffer every offload serialises on the slot; more
+		// buffers let the pipeline overlap.
+		if rows[1].Value >= rows[0].Value {
+			t.Errorf("8 buffers (%.2f us) should beat 1 buffer (%.2f us)",
+				rows[1].Value, rows[0].Value)
+		}
+	})
+}
+
+func TestRenderers(t *testing.T) {
+	r := Fig9Result{
+		VEONativeUS: 80, HAMVEOUS: 432, HAMDMAUS: 6.1,
+		HAMVEOOverNative: 5.4, NativeOverDMA: 13.1, HAMVEOOverDMA: 70.8,
+	}
+	var buf bytes.Buffer
+	RenderFig9(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"HAM-Offload (VE DMA)", "70.8x", "5.4x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig9 output missing %q:\n%s", want, out)
+		}
+	}
+
+	series := []Series{
+		{Method: MethodVEO, Direction: DirDown, Points: []Point{{Size: 8, GiBps: 0.0001, US: 100}, {Size: 4096, GiBps: 0.04, US: 101}}},
+		{Method: MethodDMA, Direction: DirDown, Points: []Point{{Size: 8, GiBps: 0.002, US: 5}, {Size: 4096, GiBps: 0.8, US: 6}}},
+	}
+	buf.Reset()
+	RenderFig10(&buf, series, 1024)
+	if !strings.Contains(buf.String(), "VH=>VE") || !strings.Contains(buf.String(), "4KiB") {
+		t.Errorf("Fig10 output malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	RenderTableIV(&buf, TableIV(series))
+	if !strings.Contains(buf.String(), MethodVEO) {
+		t.Errorf("TableIV output malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	RenderASCIIPlot(&buf, series, DirDown)
+	if !strings.Contains(buf.String(), "log-log") {
+		t.Errorf("ASCII plot malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "method,direction,size_bytes") {
+		t.Errorf("CSV header missing:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	RenderAblation(&buf, "Test", []AblationRow{{Config: "a", Value: 1.5, Unit: "us"}})
+	if !strings.Contains(buf.String(), "1.500 us") {
+		t.Errorf("ablation output malformed:\n%s", buf.String())
+	}
+}
+
+func TestPowerOfTwoSizes(t *testing.T) {
+	s := PowerOfTwoSizes(8, 64)
+	want := []int64{8, 16, 32, 64}
+	if len(s) != len(want) {
+		t.Fatalf("sizes = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sizes = %v", s)
+		}
+	}
+}
+
+// TestGranularitySweep ties the microbenchmark to application impact: the
+// protocol gap collapses as kernels grow (§V-A's granularity discussion).
+func TestGranularitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-machine sweep")
+	}
+	rows, err := AblateGranularity([]float64{0, 100, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Speedup < 40 {
+		t.Errorf("empty-kernel speedup = %.1f, want the full protocol gap", rows[0].Speedup)
+	}
+	if rows[1].Speedup < 2 || rows[1].Speedup > 8 {
+		t.Errorf("100us-kernel speedup = %.1f, want the paper-companion ~2.6x regime", rows[1].Speedup)
+	}
+	if rows[2].Speedup > 1.2 {
+		t.Errorf("5ms-kernel speedup = %.1f, should be amortised away", rows[2].Speedup)
+	}
+	var buf bytes.Buffer
+	RenderGranularity(&buf, rows)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("render output malformed")
+	}
+}
+
+// TestTraceOffloadsProducesChromeJSON smoke-tests the trace facility end to
+// end: both protocols leave their signature spans.
+func TestTraceOffloadsProducesChromeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TraceOffloads(2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"veo_write_mem", "user-dma", "dmab-execute", "veob-execute", `"ph":"X"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+// TestHistogramMeasurement checks the latency-distribution variant agrees
+// with the scalar measurement.
+func TestHistogramMeasurement(t *testing.T) {
+	h, err := MeasureHAMEmptyHist(Fig9Config{Reps: 50}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 50 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	mean := h.Mean().Microseconds()
+	if mean < 5 || mean > 8 {
+		t.Errorf("mean = %.2f us, want ≈6", mean)
+	}
+}
+
+// TestNativeVsOffloadCrossover quantifies §I: with no scalar code native VE
+// execution wins; a few percent of scalar work flips the balance to
+// offloading — the motivation for low-overhead offloading on this platform.
+func TestNativeVsOffloadCrossover(t *testing.T) {
+	rows, err := NativeVsOffload(NativeVsOffloadConfig{
+		Fractions: []float64{0, 0.05, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].OffloadWins {
+		t.Error("pure vector code should favour native execution")
+	}
+	if !rows[1].OffloadWins || !rows[2].OffloadWins {
+		t.Error("scalar-heavy code should favour offloading")
+	}
+	// The scalar-heavy gap should be large (the 1.4 GHz scalar pipeline vs
+	// the host), not marginal.
+	if rows[2].NativeUS < 5*rows[2].OffloadUS {
+		t.Errorf("at 50%% scalar work native=%.0f offload=%.0f, expected a wide gap",
+			rows[2].NativeUS, rows[2].OffloadUS)
+	}
+	var buf bytes.Buffer
+	RenderNativeVsOffload(&buf, rows)
+	if !strings.Contains(buf.String(), "winner") {
+		t.Error("render malformed")
+	}
+}
+
+// TestRemoteClusterExperiment checks the §VI-outlook numbers' shape: remote
+// offloads cost more than local but stay the same order of magnitude, and
+// the staged remote data path loses bandwidth to the extra IB hop.
+func TestRemoteClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster build")
+	}
+	r, err := Remote(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LocalUS < 5 || r.LocalUS > 8 {
+		t.Errorf("local = %.2f us, want ≈6", r.LocalUS)
+	}
+	if r.RemoteUS < r.LocalUS+3 || r.RemoteUS > r.LocalUS+25 {
+		t.Errorf("remote = %.2f us vs local %.2f", r.RemoteUS, r.LocalUS)
+	}
+	if r.PutRemoteGiB >= r.PutLocalGiB {
+		t.Errorf("remote put %.2f should be below local %.2f GiB/s", r.PutRemoteGiB, r.PutLocalGiB)
+	}
+	if r.PutRemoteGiB < 2 {
+		t.Errorf("remote put %.2f GiB/s implausibly low", r.PutRemoteGiB)
+	}
+	var buf bytes.Buffer
+	RenderRemote(&buf, r)
+	if !strings.Contains(buf.String(), "remote VE") {
+		t.Error("render malformed")
+	}
+}
+
+// TestPutGetTracksVEOCurve ties the public API data path to the Fig. 10
+// VEO series it rides on.
+func TestPutGetTracksVEOCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large transfers")
+	}
+	pts, err := PutGet(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1] // 64 MiB
+	if last.PutGiBps < 9 || last.PutGiBps > 10.5 {
+		t.Errorf("64MiB put = %.2f GiB/s, want ≈9.8 (VEO write)", last.PutGiBps)
+	}
+	if last.GetGiBps < 9 || last.GetGiBps > 11 {
+		t.Errorf("64MiB get = %.2f GiB/s, want ≈10.1 (VEO read)", last.GetGiBps)
+	}
+	// Bandwidth grows with size.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PutGiBps <= pts[i-1].PutGiBps {
+			t.Errorf("put bandwidth not monotone at %d", pts[i].Size)
+		}
+	}
+	var buf bytes.Buffer
+	RenderPutGet(&buf, pts)
+	if !strings.Contains(buf.String(), "put GiB/s") {
+		t.Error("render malformed")
+	}
+}

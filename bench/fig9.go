@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/veos"
+	"hamoffload/machine"
+	"hamoffload/offload"
+)
+
+// Fig9Config parameterises the offload-cost experiment. The paper timed 10⁶
+// repetitions after 10 warm-ups; the simulation is deterministic, so far
+// fewer repetitions give the same averages.
+type Fig9Config struct {
+	Socket int // CPU socket the VH process is pinned to (§V-A studies 1)
+	Reps   int // timed repetitions (default 100)
+	Warmup int // warm-up repetitions (default 10, as in the paper)
+}
+
+func (c *Fig9Config) fill() {
+	if c.Reps <= 0 {
+		c.Reps = 100
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 10
+	}
+}
+
+// Fig9Result holds the three bars of Fig. 9 plus the derived ratios the
+// paper quotes in the text.
+type Fig9Result struct {
+	Socket int
+
+	VEONativeUS float64 // native veo_call_async + wait, empty kernel
+	HAMVEOUS    float64 // HAM-Offload over the VEO protocol
+	HAMDMAUS    float64 // HAM-Offload over the DMA protocol
+
+	HAMVEOOverNative float64 // paper: 5.4×
+	NativeOverDMA    float64 // paper: 13.1×
+	HAMVEOOverDMA    float64 // paper: 70.8×
+}
+
+const veoBenchLibrary = "libbench-veo.so"
+
+func init() {
+	veos.RegisterLibrary(veoBenchLibrary, veos.Library{
+		"empty": func(ctx *veos.Ctx, args []uint64) (uint64, error) { return 0, nil },
+	})
+}
+
+// Fig9 measures the empty-offload cost of all three systems on fresh
+// machines and returns the figure's data.
+func Fig9(cfg Fig9Config) (Fig9Result, error) {
+	cfg.fill()
+	res := Fig9Result{Socket: cfg.Socket}
+
+	native, err := MeasureVEONative(cfg)
+	if err != nil {
+		return res, fmt.Errorf("bench: native VEO: %w", err)
+	}
+	res.VEONativeUS = native
+
+	hamVEO, err := MeasureHAMEmpty(cfg, false)
+	if err != nil {
+		return res, fmt.Errorf("bench: HAM-Offload VEO: %w", err)
+	}
+	res.HAMVEOUS = hamVEO
+
+	hamDMA, err := MeasureHAMEmpty(cfg, true)
+	if err != nil {
+		return res, fmt.Errorf("bench: HAM-Offload DMA: %w", err)
+	}
+	res.HAMDMAUS = hamDMA
+
+	res.HAMVEOOverNative = hamVEO / native
+	res.NativeOverDMA = native / hamDMA
+	res.HAMVEOOverDMA = hamVEO / hamDMA
+	return res, nil
+}
+
+// MeasureVEONative times the paper's reference point: the low-level VEO
+// function offload by symbol name, with basic argument types only. It
+// returns the average cost in microseconds of simulated time.
+func MeasureVEONative(cfg Fig9Config) (float64, error) {
+	cfg.fill()
+	m, err := machine.New(machine.Config{VEs: 1, Socket: cfg.Socket})
+	if err != nil {
+		return 0, err
+	}
+	var us float64
+	err = m.RunMain(func(p *machine.Proc) error {
+		card := m.Cards[0]
+		vp, err := card.CreateProcess(p)
+		if err != nil {
+			return err
+		}
+		if err := vp.LoadLibrary(p, veoBenchLibrary); err != nil {
+			return err
+		}
+		k, err := vp.FindSymbol(p, "empty")
+		if err != nil {
+			return err
+		}
+		ctx := vp.OpenContext(p)
+		call := func() error {
+			cmd := ctx.Submit(p, k, nil)
+			_, err := ctx.Wait(p, cmd)
+			return err
+		}
+		for i := 0; i < cfg.Warmup; i++ {
+			if err := call(); err != nil {
+				return err
+			}
+		}
+		start := p.Now()
+		for i := 0; i < cfg.Reps; i++ {
+			if err := call(); err != nil {
+				return err
+			}
+		}
+		us = p.Now().Sub(start).Microseconds() / float64(cfg.Reps)
+		return nil
+	})
+	return us, err
+}
+
+// MeasureHAMEmpty times an empty HAM-Offload sync offload over either
+// protocol, in microseconds of simulated time.
+func MeasureHAMEmpty(cfg Fig9Config, dmaProtocol bool) (float64, error) {
+	cfg.fill()
+	m, err := machine.New(machine.Config{VEs: 1, Socket: cfg.Socket})
+	if err != nil {
+		return 0, err
+	}
+	var us float64
+	err = m.RunMain(func(p *machine.Proc) error {
+		var rt *offload.Runtime
+		var cerr error
+		if dmaProtocol {
+			rt, cerr = machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		} else {
+			rt, cerr = machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		}
+		if cerr != nil {
+			return cerr
+		}
+		defer func() { _ = rt.Finalize() }()
+		for i := 0; i < cfg.Warmup; i++ {
+			if _, err := offload.Sync(rt, 1, benchEmpty.Bind()); err != nil {
+				return err
+			}
+		}
+		start := p.Now()
+		for i := 0; i < cfg.Reps; i++ {
+			if _, err := offload.Sync(rt, 1, benchEmpty.Bind()); err != nil {
+				return err
+			}
+		}
+		us = p.Now().Sub(start).Microseconds() / float64(cfg.Reps)
+		return nil
+	})
+	return us, err
+}
+
+// timedLoop is a helper for size sweeps: warm-ups then timed reps of op.
+func timedLoop(p *simtime.Proc, warmup, reps int, op func() error) (float64, error) {
+	for i := 0; i < warmup; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	start := p.Now()
+	for i := 0; i < reps; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	return p.Now().Sub(start).Microseconds() / float64(reps), nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"hamoffload/internal/trace"
+	"hamoffload/machine"
+	"hamoffload/offload"
+)
+
+// MeasureHAMEmptyHist is MeasureHAMEmpty with a per-offload latency
+// distribution: it exposes protocol jitter such as poll-phase alignment and
+// slot-drain stalls that the plain average hides. The simulation is
+// deterministic, so the histogram is reproducible.
+func MeasureHAMEmptyHist(cfg Fig9Config, dmaProtocol bool) (*trace.Histogram, error) {
+	cfg.fill()
+	m, err := machine.New(machine.Config{VEs: 1, Socket: cfg.Socket})
+	if err != nil {
+		return nil, err
+	}
+	name := "HAM-Offload empty offload (VEO protocol)"
+	if dmaProtocol {
+		name = "HAM-Offload empty offload (DMA protocol)"
+	}
+	hist := trace.NewHistogram(name)
+	err = m.RunMain(func(p *machine.Proc) error {
+		var rt *offload.Runtime
+		var cerr error
+		if dmaProtocol {
+			rt, cerr = machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		} else {
+			rt, cerr = machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		}
+		if cerr != nil {
+			return cerr
+		}
+		defer func() { _ = rt.Finalize() }()
+		for i := 0; i < cfg.Warmup; i++ {
+			if _, err := offload.Sync(rt, 1, benchEmpty.Bind()); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < cfg.Reps; i++ {
+			start := p.Now()
+			if _, err := offload.Sync(rt, 1, benchEmpty.Bind()); err != nil {
+				return err
+			}
+			hist.Observe(p.Now().Sub(start))
+		}
+		return nil
+	})
+	return hist, err
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"io"
+
+	"hamoffload/internal/topology"
+	"hamoffload/internal/trace"
+	"hamoffload/machine"
+	"hamoffload/offload"
+)
+
+// TraceOffloads runs a handful of empty offloads over both protocols with
+// the component-level recorder attached and writes a Chrome trace-event JSON
+// to w. Loading it in chrome://tracing or Perfetto shows the structural
+// difference between the two protocols at a glance: the VEO protocol's
+// offload is dominated by two veo_write_mem spans and a long veo_read_mem
+// poll, while the DMA protocol shows only thin user-DMA slivers on the VE
+// worker's row.
+func TraceOffloads(reps int, w io.Writer) error {
+	if reps <= 0 {
+		reps = 5
+	}
+	rec := trace.NewRecorder()
+	timing := topology.DefaultTiming()
+	timing.Recorder = rec
+	for _, dma := range []bool{false, true} {
+		m, err := machine.New(machine.Config{VEs: 1, Timing: &timing})
+		if err != nil {
+			return err
+		}
+		err = m.RunMain(func(p *machine.Proc) error {
+			var rt *offload.Runtime
+			var cerr error
+			if dma {
+				rt, cerr = machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+			} else {
+				rt, cerr = machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+			}
+			if cerr != nil {
+				return cerr
+			}
+			defer func() { _ = rt.Finalize() }()
+			for i := 0; i < reps; i++ {
+				if _, err := offload.Sync(rt, 1, benchEmpty.Bind()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return rec.ExportChrome(w)
+}

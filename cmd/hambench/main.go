@@ -1,0 +1,242 @@
+// Command hambench regenerates the paper's evaluation artefacts from the
+// simulated SX-Aurora machine:
+//
+//	hambench -exp fig9                offload cost, three systems (Fig. 9)
+//	hambench -exp fig9 -socket 1      §V-A second-socket variant
+//	hambench -exp fig10               bandwidth sweep, four panels (Fig. 10)
+//	hambench -exp table4              max bandwidths (Table IV)
+//	hambench -exp crossover           §V-B crossover points
+//	hambench -exp ablate-hugepages    huge-page / DMA-manager ablation
+//	hambench -exp ablate-4dma         naive vs 4dma bulk translation
+//	hambench -exp ablate-poll         VE poll-interval sweep
+//	hambench -exp ablate-buffers      message-slot count sweep
+//	hambench -exp ablate-result-path  SHM vs DMA result return
+//	hambench -exp ablate-granularity  protocol gap vs kernel duration
+//	hambench -exp native-vs-offload   §I: native VE execution vs offloading
+//	hambench -exp remote              §VI outlook: offloading over InfiniBand
+//	hambench -exp putget              public-API data path vs Fig. 10 curves
+//	hambench -exp all                 everything above
+//
+// Additional flags: -hist prints per-offload latency histograms with fig9;
+// -chrome FILE writes a Chrome/Perfetto trace of both protocols.
+//
+// All numbers are simulated time from the calibrated machine model, so they
+// are deterministic and reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hamoffload/bench"
+	"hamoffload/internal/units"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig9, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, all)")
+	socket := flag.Int("socket", 0, "VH socket to offload from (fig9)")
+	reps := flag.Int("reps", 0, "timed repetitions per point (0 = defaults)")
+	maxSize := flag.Int64("max-size", (256 * units.MiB).Int64(), "largest transfer size for sweeps")
+	csvPath := flag.String("csv", "", "write the fig10 sweep as CSV to this file")
+	plot := flag.Bool("plot", true, "render ASCII plots for fig10")
+	hist := flag.Bool("hist", false, "also print per-offload latency histograms for fig9")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON of a few offloads per protocol to this file")
+	flag.Parse()
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hambench:", err)
+			os.Exit(1)
+		}
+		if err := bench.TraceOffloads(5, f); err != nil {
+			fmt.Fprintln(os.Stderr, "hambench: trace:", err)
+			os.Exit(1)
+		}
+		_ = f.Close()
+		fmt.Fprintln(os.Stderr, "hambench: wrote", *chrome)
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	var sweep []bench.Series // shared between fig10 / table4 / crossover
+	ensureSweep := func() error {
+		if sweep != nil {
+			return nil
+		}
+		fmt.Fprintln(os.Stderr, "hambench: running bandwidth sweep (up to",
+			units.Bytes(*maxSize).String(), ")...")
+		var err error
+		sweep, err = bench.Fig10(bench.Fig10Config{
+			Socket:  *socket,
+			MaxSize: *maxSize,
+			Reps:    *reps,
+		})
+		return err
+	}
+
+	run("fig9", func() error {
+		r, err := bench.Fig9(bench.Fig9Config{Socket: *socket, Reps: *reps})
+		if err != nil {
+			return err
+		}
+		bench.RenderFig9(os.Stdout, r)
+		if *hist {
+			for _, dma := range []bool{false, true} {
+				h, err := bench.MeasureHAMEmptyHist(
+					bench.Fig9Config{Socket: *socket, Reps: *reps}, dma)
+				if err != nil {
+					return err
+				}
+				fmt.Println()
+				h.Render(os.Stdout)
+			}
+		}
+		return nil
+	})
+
+	run("fig10", func() error {
+		if err := ensureSweep(); err != nil {
+			return err
+		}
+		bench.RenderFig10(os.Stdout, sweep, 1024)
+		if *plot {
+			bench.RenderASCIIPlot(os.Stdout, sweep, bench.DirDown)
+			bench.RenderASCIIPlot(os.Stdout, sweep, bench.DirUp)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteCSV(f, sweep); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "hambench: wrote", *csvPath)
+		}
+		return nil
+	})
+
+	run("table4", func() error {
+		if err := ensureSweep(); err != nil {
+			return err
+		}
+		bench.RenderTableIV(os.Stdout, bench.TableIV(sweep))
+		return nil
+	})
+
+	run("crossover", func() error {
+		if err := ensureSweep(); err != nil {
+			return err
+		}
+		find := func(method, dir string) bench.Series {
+			for _, s := range sweep {
+				if s.Method == method && s.Direction == dir {
+					return s
+				}
+			}
+			return bench.Series{}
+		}
+		shm := find(bench.MethodInst, bench.DirUp)
+		dma := find(bench.MethodDMA, bench.DirUp)
+		veo := find(bench.MethodVEO, bench.DirUp)
+		fmt.Println("Crossover points, VE=>VH direction (§V-B)")
+		fmt.Printf("SHM faster than VE user DMA up to : %8s   (paper: 256B)\n",
+			units.Bytes(bench.Crossover(shm, dma)).String())
+		fmt.Printf("SHM faster than VEO read up to    : %8s   (paper: 32KiB; see EXPERIMENTS.md)\n",
+			units.Bytes(bench.Crossover(shm, veo)).String())
+		return nil
+	})
+
+	run("ablate-hugepages", func() error {
+		rows, err := bench.AblateHugePages(64 * units.MiB.Int64())
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, "A2 — host page size x DMA manager (VEO write bandwidth)", rows)
+		return nil
+	})
+
+	run("ablate-4dma", func() error {
+		rows, err := bench.AblateHugePages(64 * units.MiB.Int64())
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, "A3 — VEOS 1.3.2-4dma bulk translation vs naive", rows)
+		return nil
+	})
+
+	run("ablate-poll", func() error {
+		rows, err := bench.AblatePollInterval(nil)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, "Ablation — VE receive-flag poll interval (DMA protocol)", rows)
+		return nil
+	})
+
+	run("ablate-buffers", func() error {
+		rows, err := bench.AblateBufferCount(nil, 32)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, "Ablation — message-buffer count (async pipeline)", rows)
+		return nil
+	})
+
+	run("ablate-granularity", func() error {
+		rows, err := bench.AblateGranularity(nil)
+		if err != nil {
+			return err
+		}
+		bench.RenderGranularity(os.Stdout, rows)
+		return nil
+	})
+
+	run("remote", func() error {
+		r, err := bench.Remote(*reps)
+		if err != nil {
+			return err
+		}
+		bench.RenderRemote(os.Stdout, r)
+		return nil
+	})
+
+	run("putget", func() error {
+		pts, err := bench.PutGet(nil, *reps)
+		if err != nil {
+			return err
+		}
+		bench.RenderPutGet(os.Stdout, pts)
+		return nil
+	})
+
+	run("native-vs-offload", func() error {
+		rows, err := bench.NativeVsOffload(bench.NativeVsOffloadConfig{})
+		if err != nil {
+			return err
+		}
+		bench.RenderNativeVsOffload(os.Stdout, rows)
+		return nil
+	})
+
+	run("ablate-result-path", func() error {
+		rows, err := bench.AblateResultPath()
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, "Ablation — result return path (DMA protocol)", rows)
+		return nil
+	})
+}

@@ -1,0 +1,72 @@
+// Command veinfo prints the simulated benchmark system's configuration: the
+// processor specifications of Table I and the system/software configuration
+// of Table III of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hamoffload/internal/topology"
+	"hamoffload/internal/units"
+)
+
+func main() {
+	table1 := flag.Bool("table1", true, "print Table I (processor specifications)")
+	table3 := flag.Bool("table3", true, "print Table III (benchmark system configuration)")
+	flag.Parse()
+
+	sys := topology.A300_8()
+	if err := sys.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "veinfo:", err)
+		os.Exit(1)
+	}
+	if *table1 {
+		printTable1(sys)
+	}
+	if *table3 {
+		if *table1 {
+			fmt.Println()
+		}
+		printTable3(sys)
+	}
+}
+
+func printTable1(sys *topology.System) {
+	cpu := sys.Sockets[0].CPU
+	ve := sys.VEs[0].Spec
+	fmt.Println("Table I — Specifications of a single VH CPU and Vector Engine")
+	row := func(name, a, b string) { fmt.Printf("%-24s %-22s %-22s\n", name, a, b) }
+	row("", cpu.Model, ve.Model)
+	row("Cores", itoa(cpu.Cores), itoa(ve.Cores))
+	row("Threads", itoa(cpu.Threads), itoa(ve.Threads))
+	row("Vector Width (double)", itoa(cpu.VectorWidthF64), itoa(ve.VectorWidthF64))
+	row("Clock Frequency", ghz(cpu.ClockGHz), ghz(ve.ClockGHz))
+	row("Peak Performance", gflops(cpu.PeakGFLOPS), gflops(ve.PeakGFLOPS))
+	row("Max. Memory", cpu.MaxMemory.String()+" (DDR4)", ve.MaxMemory.String()+" (HBM2)")
+	row("Memory Bandwidth", gbs(cpu.MemoryBandwidth), gbs(ve.MemoryBandwidth))
+	row("L3/LLC", cpu.LastLevelCache.String(), ve.LastLevelCache.String())
+	row("TDP", watts(cpu.TDPWatts), watts(ve.TDPWatts))
+}
+
+func printTable3(sys *topology.System) {
+	fmt.Println("Table III — Configuration of the benchmark system")
+	row := func(name, v string) { fmt.Printf("%-14s %s\n", name, v) }
+	row("System", sys.Name)
+	row("VH CPUs", fmt.Sprintf("%dx %s", len(sys.Sockets), sys.Sockets[0].CPU.Model))
+	row("VH Memory", sys.VHMemory.String()+" DDR4")
+	row("VE Cards", fmt.Sprintf("%dx %s, %s HBM2", len(sys.VEs), sys.VEs[0].Spec.Model, sys.VEs[0].Spec.MaxMemory))
+	row("PCIe Config.", fmt.Sprintf("%d switches, %d VEs per switch (Fig. 3)", len(sys.Switches), len(sys.VEs)/len(sys.Switches)))
+	row("VH OS", sys.VHOS)
+	row("VH compiler", sys.VHCompiler)
+	row("VEOS", sys.VEOSVer)
+	row("VEO", sys.VEOVer)
+	row("VE compiler", sys.VECompiler)
+}
+
+func itoa(v int) string        { return fmt.Sprintf("%d", v) }
+func ghz(v float64) string     { return fmt.Sprintf("%.1f GHz", v) }
+func gflops(v float64) string  { return fmt.Sprintf("%.1f GFLOPS", v) }
+func watts(v int) string       { return fmt.Sprintf("%d W", v) }
+func gbs(b units.Bytes) string { return fmt.Sprintf("%.1f GB/s", b.GBs()) }

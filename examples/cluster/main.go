@@ -1,0 +1,108 @@
+// Cluster: remote offloading across SX-Aurora nodes — the paper's outlook
+// implemented (§VI): "As soon as NEC's MPI will support heterogeneous jobs
+// ... HAM-Offload applications will also benefit from remote offloading
+// capabilities, again without changes in the application code."
+//
+// Two simulated A300 nodes are connected by InfiniBand. The host program on
+// machine 0 offloads the same registered function to its local Vector
+// Engines and to machine 1's VEs through a proxy rank — the application code
+// is identical for both, only the node id differs. The program compares
+// local and remote offload latency and runs a cluster-wide parallel
+// reduction across all VEs of both machines.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hamoffload/machine"
+	"hamoffload/offload"
+)
+
+const vesPerNode = 4
+
+// partialSum reduces an arithmetic series segment VE-side; the work is
+// generated from the arguments so only 16 bytes travel per offload.
+var partialSum = offload.NewFunc2[float64]("cluster_example.partial_sum",
+	func(c *offload.Ctx, first, count int64) (float64, error) {
+		c.ChargeVector(count, 8*count, 8)
+		s := 0.0
+		for i := int64(0); i < count; i++ {
+			s += float64(first + i)
+		}
+		return s, nil
+	})
+
+func main() {
+	cl, err := machine.NewCluster(2, machine.Config{VEs: vesPerNode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+
+		fmt.Printf("cluster: %d nodes (%d VEs on each of 2 machines + host)\n",
+			rt.NumNodes(), vesPerNode)
+		for n := 1; n < rt.NumNodes(); n++ {
+			d := rt.GetNodeDescriptor(offload.NodeID(n))
+			fmt.Printf("  node %d: %-8s %s\n", n, d.Name, d.Device)
+		}
+
+		// Latency: local VE vs remote VE, same functor.
+		measure := func(node offload.NodeID) machine.Duration {
+			for i := 0; i < 10; i++ {
+				if _, err := offload.Sync(rt, node, partialSum.Bind(0, 1)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			start := cl.Now()
+			const reps = 100
+			for i := 0; i < reps; i++ {
+				if _, err := offload.Sync(rt, node, partialSum.Bind(0, 1)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return (cl.Now() - start) / reps
+		}
+		local := measure(1)               // machine 0, VE 0
+		remote := measure(vesPerNode + 1) // machine 1, VE 0
+		fmt.Printf("empty-ish offload cost: local VE %v, remote VE %v (adds IB + proxy)\n",
+			local, remote)
+
+		// Cluster-wide reduction: split 80M terms across all 8 VEs.
+		const total = int64(80_000_000)
+		ves := int64(2 * vesPerNode)
+		chunk := total / ves
+		futs := make([]*offload.Future[float64], 0, ves)
+		start := cl.Now()
+		for v := int64(0); v < ves; v++ {
+			futs = append(futs, offload.Async(rt, offload.NodeID(v+1),
+				partialSum.Bind(v*chunk, chunk)))
+		}
+		sum := 0.0
+		for _, f := range futs {
+			r, err := f.Get()
+			if err != nil {
+				return err
+			}
+			sum += r
+		}
+		span := cl.Now() - start
+		want := float64(total-1) * float64(total) / 2
+		if diff := (sum - want) / want; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("cluster sum = %v, want %v", sum, want)
+		}
+		fmt.Printf("cluster-wide reduction of %dM terms across 8 VEs on 2 machines: %v (sum verified)\n",
+			total/1_000_000, span)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Halo: domain decomposition across four Vector Engines with halo exchange —
+// the multi-accelerator pattern behind the paper's copy primitive (Table II:
+// "performs a direct copy between memory on two offload targets; the
+// operation is orchestrated by the host").
+//
+// A 2D Jacobi grid is split row-wise over 4 VEs, each holding its partition
+// plus two ghost rows. Every iteration first exchanges boundary rows between
+// neighbouring VEs with offload.Copy, then sweeps all partitions in parallel
+// with asynchronous offloads. On this platform generation VE-to-VE data has
+// no direct path — each Copy stages through the host via the VEO API — and
+// the program reports how much of the iteration that exchange costs.
+//
+// The result is verified against a single-domain host computation.
+//
+// Run with: go run ./examples/halo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hamoffload/machine"
+	"hamoffload/offload"
+)
+
+const (
+	numVEs = 4
+	rows   = 32 // owned rows per VE
+	cols   = 128
+	iters  = 10
+)
+
+// sweepPartition performs one Jacobi sweep over a partition stored with one
+// ghost row above and below (buffer layout (rows+2) x cols). The flags mark
+// partitions whose first/last owned row is a global domain boundary, which
+// Jacobi leaves fixed.
+var sweepPartition = offload.NewFunc4[offload.Unit]("halo.sweep",
+	func(c *offload.Ctx, in, out offload.BufferPtr[float64], topBoundary, bottomBoundary int64) (offload.Unit, error) {
+		n := int64(rows+2) * cols
+		v, err := offload.ReadLocal(c, in, 0, n)
+		if err != nil {
+			return offload.Unit{}, err
+		}
+		res := make([]float64, n)
+		copy(res, v)
+		lo, hi := int64(1), int64(rows)
+		if topBoundary != 0 {
+			lo++
+		}
+		if bottomBoundary != 0 {
+			hi--
+		}
+		for i := lo; i <= hi; i++ {
+			for j := int64(1); j < cols-1; j++ {
+				res[i*cols+j] = 0.25 * (v[(i-1)*cols+j] + v[(i+1)*cols+j] +
+					v[i*cols+j-1] + v[i*cols+j+1])
+			}
+		}
+		c.ChargeVector(4*int64(rows)*cols, 40*int64(rows)*cols, 8)
+		return offload.Unit{}, offload.WriteLocal(c, out, 0, res)
+	})
+
+// reference computes the same iterations on the host over the whole domain.
+func reference(grid []float64, steps int) []float64 {
+	total := numVEs * rows
+	cur := append([]float64(nil), grid...)
+	next := append([]float64(nil), grid...)
+	for s := 0; s < steps; s++ {
+		for i := 1; i < total-1; i++ {
+			for j := 1; j < cols-1; j++ {
+				next[i*cols+j] = 0.25 * (cur[(i-1)*cols+j] + cur[(i+1)*cols+j] +
+					cur[i*cols+j-1] + cur[i*cols+j+1])
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func initialGrid() []float64 {
+	total := numVEs * rows
+	g := make([]float64, total*cols)
+	for j := 0; j < cols; j++ {
+		g[j] = 100 // hot top edge of the global domain
+	}
+	for i := 0; i < total; i++ {
+		g[i*cols] = 50 // warm left edge
+	}
+	return g
+}
+
+func main() {
+	m, err := machine.New(machine.Config{VEs: numVEs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := initialGrid()
+	want := reference(grid, iters)
+	got := make([]float64, len(grid))
+	var total, exchange machine.Duration
+
+	err = m.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+
+		// Per-VE double buffers of (rows+2) x cols.
+		part := int64(rows+2) * cols
+		bufA := make([]offload.BufferPtr[float64], numVEs)
+		bufB := make([]offload.BufferPtr[float64], numVEs)
+		for v := 0; v < numVEs; v++ {
+			node := offload.NodeID(v + 1)
+			if bufA[v], err = offload.Allocate[float64](rt, node, part); err != nil {
+				return err
+			}
+			if bufB[v], err = offload.Allocate[float64](rt, node, part); err != nil {
+				return err
+			}
+			// Scatter the initial partition (owned rows into rows 1..rows).
+			slab := make([]float64, part)
+			copy(slab[cols:cols+rows*cols], grid[v*rows*cols:(v+1)*rows*cols])
+			if err := offload.Put(rt, slab, bufA[v]); err != nil {
+				return err
+			}
+			if err := offload.Put(rt, slab, bufB[v]); err != nil {
+				return err
+			}
+		}
+
+		rowAt := func(b offload.BufferPtr[float64], r int) offload.BufferPtr[float64] {
+			off, err := b.Offset(int64(r) * cols)
+			if err != nil {
+				panic(err)
+			}
+			off.Count = cols
+			return off
+		}
+
+		start := m.Now()
+		in, out := bufA, bufB
+		for s := 0; s < iters; s++ {
+			// Halo exchange between neighbouring VEs: last owned row of v
+			// becomes the top ghost of v+1 and vice versa. Each Copy is
+			// host-orchestrated (no VE-to-VE path on this platform).
+			exStart := m.Now()
+			for v := 0; v < numVEs-1; v++ {
+				if err := offload.Copy(rt, rowAt(in[v], rows), rowAt(in[v+1], 0), cols); err != nil {
+					return err
+				}
+				if err := offload.Copy(rt, rowAt(in[v+1], 1), rowAt(in[v], rows+1), cols); err != nil {
+					return err
+				}
+			}
+			exchange += m.Now() - exStart
+
+			// Sweep all partitions in parallel.
+			futs := make([]*offload.Future[offload.Unit], numVEs)
+			for v := 0; v < numVEs; v++ {
+				top, bottom := int64(0), int64(0)
+				if v == 0 {
+					top = 1
+				}
+				if v == numVEs-1 {
+					bottom = 1
+				}
+				futs[v] = offload.Async(rt, offload.NodeID(v+1), sweepPartition.Bind(in[v], out[v], top, bottom))
+			}
+			for _, f := range futs {
+				if _, err := f.Get(); err != nil {
+					return err
+				}
+			}
+			in, out = out, in
+		}
+		total = m.Now() - start
+
+		// Gather the owned rows back.
+		for v := 0; v < numVEs; v++ {
+			slab := make([]float64, part)
+			if err := offload.Get(rt, in[v], slab); err != nil {
+				return err
+			}
+			copy(got[v*rows*cols:(v+1)*rows*cols], slab[cols:cols+rows*cols])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	maxErr := 0.0
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-12 {
+		log.Fatalf("distributed result diverges from host reference (max err %g)", maxErr)
+	}
+	fmt.Printf("Jacobi %dx%d split over %d VEs, %d iterations (verified, max err %.1e)\n",
+		numVEs*rows, cols, numVEs, iters, maxErr)
+	fmt.Printf("  total %v; halo exchange %v (%.0f%% — host-staged VE-to-VE copies dominate)\n",
+		total, exchange, 100*float64(exchange)/float64(total))
+}

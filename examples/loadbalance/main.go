@@ -1,0 +1,177 @@
+// Loadbalance: dynamic distribution of dense-matrix kernel tasks across the
+// host CPU and all eight Vector Engines of the A300-8 — the usage pattern of
+// Malý et al.'s domain-decomposition solver, which the paper cites as the
+// motivating HAM-Offload application class ("a simple load-balancing
+// strategy to efficiently utilise both the host CPU and the available
+// coprocessors").
+//
+// A pool of variable-size matrix-square tasks is distributed greedily: every
+// VE holds one outstanding asynchronous offload; whenever a future completes
+// (tested without blocking), the VE receives the next task. The host works
+// through tasks of its own between polls. A checksum over all results
+// verifies that every task ran exactly once, wherever it ran.
+//
+// Run with: go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hamoffload/machine"
+	"hamoffload/offload"
+)
+
+const (
+	numTasks = 60
+	numVEs   = 8
+)
+
+// squareChecksum multiplies an m×m matrix with itself and returns the sum of
+// the product's entries. The matrix is generated target-side from the seed,
+// so only (seed, m) travels in the active message.
+var squareChecksum = offload.NewFunc2[float64]("loadbalance.square_checksum",
+	func(c *offload.Ctx, seed int64, m int64) (float64, error) {
+		c.ChargeVector(2*m*m*m, 8*3*m*m, 8)
+		return squareChecksumHost(seed, m), nil
+	})
+
+// squareChecksumHost is the same kernel on the host; with HAM-Offload the
+// whole application is built for both sides, so sharing the body is natural.
+func squareChecksumHost(seed, m int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, m*m)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	sum := 0.0
+	for i := int64(0); i < m; i++ {
+		for j := int64(0); j < m; j++ {
+			acc := 0.0
+			for k := int64(0); k < m; k++ {
+				acc += a[i*m+k] * a[k*m+j]
+			}
+			sum += acc
+		}
+	}
+	return sum
+}
+
+type task struct {
+	seed int64
+	m    int64
+}
+
+func makeTasks() []task {
+	rng := rand.New(rand.NewSource(42))
+	tasks := make([]task, numTasks)
+	for i := range tasks {
+		// Task sizes chosen so one task clearly exceeds the ~6 µs offload
+		// overhead of the DMA protocol: 2·m³ flops at m = 96..160 is
+		// 1.8-8.2 MFLOP, i.e. 1-5 µs on a VE and 4-20 µs on the host.
+		tasks[i] = task{seed: int64(i + 1), m: int64(96 + rng.Intn(5)*16)} // 96..160
+	}
+	return tasks
+}
+
+// runPool executes the tasks over the given worker nodes (host included when
+// useHost), returning the makespan and the checksum total.
+func runPool(ves int, useHost bool) (machine.Duration, float64, error) {
+	m, err := machine.New(machine.Config{VEs: max(ves, 1)})
+	if err != nil {
+		return 0, 0, err
+	}
+	tasks := makeTasks()
+	var makespan machine.Duration
+	var total float64
+	err = m.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectDMA(p, m, machine.ProtocolOptions{VEs: max(ves, 1)})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+
+		start := m.Now()
+		next := 0
+		inflight := make([]*offload.Future[float64], ves)
+		pending := 0
+
+		for next < len(tasks) || pending > 0 {
+			// Refill and harvest VE futures.
+			for v := 0; v < ves; v++ {
+				if inflight[v] == nil && next < len(tasks) {
+					t := tasks[next]
+					next++
+					inflight[v] = offload.Async(rt, offload.NodeID(v+1),
+						squareChecksum.Bind(t.seed, t.m))
+					pending++
+				}
+				if inflight[v] != nil && inflight[v].Test() {
+					r, err := inflight[v].Get()
+					if err != nil {
+						return err
+					}
+					total += r
+					inflight[v] = nil
+					pending--
+				}
+			}
+			// The host takes a task of its own when all VEs are busy.
+			if useHost && next < len(tasks) && (ves == 0 || pending == ves) {
+				t := tasks[next]
+				next++
+				rt.Backend().ChargeVector(2*t.m*t.m*t.m, 8*3*t.m*t.m, 6)
+				total += squareChecksumHost(t.seed, t.m)
+			}
+			// When neither refill, harvest, nor host work happened, the
+			// Test() polls above have already advanced simulated time by the
+			// host poll interval, so this loop converges.
+		}
+		makespan = m.Now() - start
+		return nil
+	})
+	return makespan, total, err
+}
+
+func main() {
+	type cfg struct {
+		name    string
+		ves     int
+		useHost bool
+	}
+	cfgs := []cfg{
+		{"host only (6 cores)", 0, true},
+		{"1 VE", 1, false},
+		{"host + 1 VE", 1, true},
+		{"8 VEs", numVEs, false},
+		{"host + 8 VEs", numVEs, true},
+	}
+	var base machine.Duration
+	var wantSum float64
+	fmt.Printf("Dynamic load balancing of %d dense-matrix tasks (DMA protocol)\n", numTasks)
+	for i, c := range cfgs {
+		span, sum, err := runPool(c.ves, c.useHost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base, wantSum = span, sum
+		}
+		if diff := sum - wantSum; diff > 1e-6 || diff < -1e-6 {
+			log.Fatalf("%s: checksum %.6f != %.6f — tasks lost or duplicated", c.name, sum, wantSum)
+		}
+		fmt.Printf("  %-22s makespan %-10v speedup %.2fx\n",
+			c.name, span, float64(base)/float64(span))
+	}
+	fmt.Println("checksums identical across configurations — every task ran exactly once")
+	fmt.Println("note: with 8 VEs the single host thread is better spent dispatching than")
+	fmt.Println("computing — host tasks block the dispatch loop, a real scheduling trade-off")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

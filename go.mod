@@ -1,0 +1,3 @@
+module hamoffload
+
+go 1.24

@@ -1,0 +1,71 @@
+package adapter
+
+import (
+	"bytes"
+	"testing"
+
+	"hamoffload/internal/hostmem"
+	"hamoffload/internal/units"
+	"hamoffload/internal/vemem"
+)
+
+func TestHostHeapRoundTrip(t *testing.T) {
+	h, err := hostmem.New("vh", 64*units.MiB, 2*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := &HostHeap{H: h}
+	addr, err := heap.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("host heap adapter")
+	if err := heap.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := heap.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	if err := heap.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := heap.Read(addr, got); err == nil {
+		t.Error("read after free should fault")
+	}
+	if err := heap.Free(addr); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestVEHeapRoundTrip(t *testing.T) {
+	v, err := vemem.New("ve", units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := &VEHeap{VE: v}
+	addr, err := heap.Alloc(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("ve heap adapter")
+	if err := heap.Write(addr+8, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := heap.Read(addr+8, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	if err := heap.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if v.LiveAllocs() != 0 {
+		t.Errorf("LiveAllocs = %d", v.LiveAllocs())
+	}
+}

@@ -1,0 +1,169 @@
+// Package conformance defines the behavioural contract every HAM-Offload
+// communication backend must satisfy — the mechanical form of the paper's
+// portability claim that applications run unchanged on any backend (§V).
+// The same Exercise function runs against the loopback, TCP, VEO-protocol,
+// DMA-protocol and cluster backends.
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"hamoffload/internal/core"
+)
+
+// Registered functions of the conformance program. Like any HAM-Offload
+// application, they exist identically in every "binary" involved.
+var (
+	cfEcho = core.NewFunc1[int64]("conformance.echo",
+		func(c *core.Ctx, v int64) (int64, error) { return v, nil })
+
+	cfConcat = core.NewFunc2[string]("conformance.concat",
+		func(c *core.Ctx, a, b string) (string, error) { return a + b, nil })
+
+	cfSum = core.NewFunc1[float64]("conformance.sum",
+		func(c *core.Ctx, buf core.BufferPtr[float64]) (float64, error) {
+			v, err := core.ReadLocal(c, buf, 0, buf.Count)
+			if err != nil {
+				return 0, err
+			}
+			s := 0.0
+			for _, x := range v {
+				s += x
+			}
+			return s, nil
+		})
+
+	cfBig = core.NewFunc1[[]float64]("conformance.big",
+		func(c *core.Ctx, n int64) ([]float64, error) {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(i) + 0.5
+			}
+			return out, nil
+		})
+
+	cfFail = core.NewFunc0[core.Unit]("conformance.fail",
+		func(c *core.Ctx) (core.Unit, error) {
+			return core.Unit{}, fmt.Errorf("conformance: deliberate failure")
+		})
+
+	cfWho = core.NewFunc0[int]("conformance.who",
+		func(c *core.Ctx) (int, error) { return int(c.Node()), nil })
+)
+
+// Reporter receives failures; *testing.T satisfies it.
+type Reporter interface {
+	Errorf(format string, args ...any)
+}
+
+// Exercise runs the full backend contract from the host runtime rt against
+// target node. It must be called in the host's execution context (directly
+// for wall-clock backends, inside RunMain for simulated ones).
+func Exercise(t Reporter, rt *core.Runtime, target core.NodeID) {
+	// --- introspection -----------------------------------------------------
+	if rt.ThisNode() == target {
+		t.Errorf("host and target share a node id")
+	}
+	if n := rt.NumNodes(); int(target) >= n {
+		t.Errorf("target %d outside NumNodes %d", target, n)
+	}
+	if d := rt.GetNodeDescriptor(target); d.Name == "" || d.Name == "invalid" {
+		t.Errorf("target descriptor unusable: %+v", d)
+	}
+	if _, err := rt.Ping(target); err != nil {
+		t.Errorf("Ping: %v", err)
+	}
+	if err := rt.CheckCompatible(target); err != nil {
+		t.Errorf("CheckCompatible: %v", err)
+	}
+
+	// --- sync offloads, argument/result fidelity ----------------------------
+	if v, err := core.Sync(rt, target, cfEcho.Bind(-12345)); err != nil || v != -12345 {
+		t.Errorf("echo = %d, %v", v, err)
+	}
+	if s, err := core.Sync(rt, target, cfConcat.Bind("hetero", "geneous")); err != nil || s != "heterogeneous" {
+		t.Errorf("concat = %q, %v", s, err)
+	}
+	if w, err := core.Sync(rt, target, cfWho.Bind()); err != nil || w != int(target) {
+		t.Errorf("who = %d, %v (want %d)", w, err, target)
+	}
+
+	// --- memory lifecycle ----------------------------------------------------
+	buf, err := core.Allocate[float64](rt, target, 64)
+	if err != nil {
+		t.Errorf("Allocate: %v", err)
+		return
+	}
+	vals := make([]float64, 64)
+	want := 0.0
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+		want += vals[i]
+	}
+	if err := core.Put(rt, vals, buf); err != nil {
+		t.Errorf("Put: %v", err)
+	}
+	if got, err := core.Sync(rt, target, cfSum.Bind(buf)); err != nil || got != want {
+		t.Errorf("sum over put data = %v, %v (want %v)", got, err, want)
+	}
+	back := make([]float64, 64)
+	if err := core.Get(rt, buf, back); err != nil {
+		t.Errorf("Get: %v", err)
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Errorf("get mismatch at %d", i)
+			break
+		}
+	}
+	if err := core.Free(rt, buf); err != nil {
+		t.Errorf("Free: %v", err)
+	}
+	if err := core.Free(rt, buf); err == nil {
+		t.Errorf("double Free accepted")
+	}
+
+	// --- asynchrony and ordering --------------------------------------------
+	futs := make([]*core.Future[int64], 12)
+	for i := range futs {
+		futs[i] = core.Async(rt, target, cfEcho.Bind(int64(i*i)))
+	}
+	for i := len(futs) - 1; i >= 0; i-- { // out-of-order harvest
+		if v, err := futs[i].Get(); err != nil || v != int64(i*i) {
+			t.Errorf("future %d = %d, %v", i, v, err)
+		}
+	}
+	f := core.Async(rt, target, cfEcho.Bind(7))
+	for !f.Test() {
+	}
+	if v, err := f.Get(); err != nil || v != 7 {
+		t.Errorf("Test/Get = %d, %v", v, err)
+	}
+
+	// --- large results --------------------------------------------------------
+	if out, err := core.Sync(rt, target, cfBig.Bind(int64(200))); err != nil ||
+		len(out) != 200 || out[199] != 199.5 {
+		t.Errorf("big result: len %d, %v", len(out), err)
+	}
+
+	// --- error propagation and liveness after failure -------------------------
+	if _, err := core.Sync(rt, target, cfFail.Bind()); err == nil ||
+		!strings.Contains(err.Error(), "deliberate failure") {
+		t.Errorf("remote error = %v", err)
+	}
+	if v, err := core.Sync(rt, target, cfEcho.Bind(1)); err != nil || v != 1 {
+		t.Errorf("offload after failure = %d, %v", v, err)
+	}
+
+	// --- validation ------------------------------------------------------------
+	if _, err := core.Sync(rt, rt.ThisNode(), cfEcho.Bind(1)); err == nil {
+		t.Errorf("offload to self accepted")
+	}
+	if _, err := core.Sync(rt, core.NodeID(rt.NumNodes()+5), cfEcho.Bind(1)); err == nil {
+		t.Errorf("offload to missing node accepted")
+	}
+	if _, err := core.Allocate[float64](rt, target, -1); err == nil {
+		t.Errorf("negative allocate accepted")
+	}
+}

@@ -1,0 +1,427 @@
+// Package dmab implements the paper's DMA-based communication protocol
+// (§IV, Fig. 8): a one-sided protocol with all communication buffers in
+// Vector Host memory, inside a SystemV shared-memory segment registered in
+// the VE's DMAATB (Fig. 7). The VE initiates every transfer: it polls the
+// receive flags with LHM instructions, fetches messages with user DMA, and
+// pushes result messages and flags back with SHM stores. All host-side
+// protocol steps become local memory accesses, which is what cuts the
+// empty-offload cost from ~430 µs (VEO protocol) to ~6 µs.
+//
+// Application start, initialisation and bulk data exchange still go through
+// the VEO API, exactly as in the paper.
+package dmab
+
+import (
+	"fmt"
+
+	"hamoffload/internal/backend/adapter"
+	"hamoffload/internal/backend/slots"
+	"hamoffload/internal/core"
+	"hamoffload/internal/hostmem"
+	"hamoffload/internal/mem"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/vecore"
+	"hamoffload/internal/veo"
+	"hamoffload/internal/veos"
+)
+
+var hostModel = vecore.DefaultHostModel()
+
+func memA(a uint64) mem.Addr { return mem.Addr(a) }
+
+// Options configures the protocol.
+type Options struct {
+	// NumBuffers is the number of message slots per direction (default 8).
+	NumBuffers int
+	// BufSize is the capacity of one message buffer (default 4 KiB).
+	BufSize int
+	// ResultInline is the result payload the VE pushes via SHM word stores;
+	// larger results overflow through a user-DMA write (default 248).
+	ResultInline int
+	// ResultViaDMA returns even small results through a user-DMA write
+	// instead of SHM stores — slower for small messages per §V-B, kept as
+	// an ablation knob.
+	ResultViaDMA bool
+	// TargetArch labels the VE binary (default "aurora-ve").
+	TargetArch string
+	// NodeBase offsets the target node ids: the cards become nodes
+	// NodeBase+1 .. NodeBase+len(cards). Zero for a standalone machine; the
+	// cluster backend assigns global ranks through it.
+	NodeBase int
+	// TotalNodes overrides the application's node count (default
+	// len(cards)+1); cluster applications span more nodes than one machine.
+	TotalNodes int
+}
+
+func (o *Options) fill() {
+	if o.NumBuffers <= 0 {
+		o.NumBuffers = 8
+	}
+	if o.BufSize <= 0 {
+		o.BufSize = 4096
+	}
+	if o.ResultInline <= 0 {
+		o.ResultInline = 248
+	}
+	// SHM stores and flag adjacency work at word granularity.
+	o.ResultInline = (o.ResultInline + 7) &^ 7
+	if o.TargetArch == "" {
+		o.TargetArch = "aurora-ve"
+	}
+}
+
+// layout describes the communication area inside the VH shared-memory
+// segment. Offsets are relative to the segment base.
+type layout struct {
+	nbuf         int
+	bufSize      int
+	resultInline int
+}
+
+func (l layout) recvFlagOff(slot int) uint64 {
+	return uint64(slot * (slots.FlagBits + l.bufSize))
+}
+func (l layout) recvBufOff(slot int) uint64 {
+	return l.recvFlagOff(slot) + slots.FlagBits
+}
+func (l layout) sendBase() uint64 {
+	return uint64(l.nbuf * (slots.FlagBits + l.bufSize))
+}
+func (l layout) sendFlagOff(slot int) uint64 {
+	return l.sendBase() + uint64(slot*(slots.FlagBits+l.resultInline))
+}
+func (l layout) sendInlineOff(slot int) uint64 {
+	return l.sendFlagOff(slot) + slots.FlagBits
+}
+func (l layout) overflowBase() uint64 {
+	return l.sendBase() + uint64(l.nbuf*(slots.FlagBits+l.resultInline))
+}
+func (l layout) overflowOff(slot int) uint64 {
+	return l.overflowBase() + uint64(slot*l.bufSize)
+}
+func (l layout) totalSize() int64 {
+	return int64(l.overflowBase()) + int64(l.nbuf*l.bufSize)
+}
+
+// handle tracks one in-flight offload.
+type handle struct {
+	target core.NodeID
+	slot   int
+	seq    uint32
+	resp   []byte
+	done   bool
+}
+
+// conn is the host-side state for one VE target.
+type conn struct {
+	proc  *veo.Proc
+	card  *veos.Card
+	seg   *hostmem.ShmSegment
+	lay   layout
+	seq   []uint32
+	inUse []*handle
+	next  int
+}
+
+// Host is the initiator-side backend on the Vector Host. All methods must
+// run on the simulated process passed to Connect.
+type Host struct {
+	p     *simtime.Proc
+	opts  Options
+	host  *hostmem.Host
+	conns []*conn
+	descs []core.NodeDescriptor
+	mem   core.LocalMemory
+}
+
+// Connect performs the full §IV-A setup for each card: VE process creation
+// and library load via VEO, SysV shared-memory creation on the VH, DMAATB
+// registration on the VE (through the ham_dmab_init kernel), and the
+// asynchronous start of ham_main.
+func Connect(p *simtime.Proc, cards []*veos.Card, opts Options) (*Host, error) {
+	opts.fill()
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("dmab: no target cards")
+	}
+	h := &Host{p: p, opts: opts, host: cards[0].Host}
+	h.mem = &adapter.HostHeap{H: h.host}
+	total := opts.TotalNodes
+	if total == 0 {
+		total = len(cards) + 1
+	}
+	h.descs = append(h.descs, core.NodeDescriptor{Name: "vh", Arch: "x86_64", Device: "Intel Xeon Gold 6126 (VH)"})
+	for i, card := range cards {
+		c, err := h.connect(card, opts.NodeBase+i+1, total)
+		if err != nil {
+			return nil, err
+		}
+		h.conns = append(h.conns, c)
+		h.descs = append(h.descs, core.NodeDescriptor{
+			Name:   fmt.Sprintf("ve%d", card.ID),
+			Arch:   opts.TargetArch,
+			Device: "NEC VE Type 10B",
+		})
+	}
+	return h, nil
+}
+
+func (h *Host) connect(card *veos.Card, self, total int) (*conn, error) {
+	proc, err := veo.ProcCreate(h.p, card)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := proc.LoadLibrary(h.p, LibraryName)
+	if err != nil {
+		return nil, err
+	}
+	lay := layout{nbuf: h.opts.NumBuffers, bufSize: h.opts.BufSize, resultInline: h.opts.ResultInline}
+	seg, err := card.Host.ShmCreate(lay.totalSize())
+	if err != nil {
+		return nil, fmt.Errorf("dmab: creating shm segment: %w", err)
+	}
+
+	ctx := proc.OpenContext(h.p)
+	commInit, err := lib.GetSym(h.p, "ham_dmab_init")
+	if err != nil {
+		return nil, err
+	}
+	viaDMA := uint64(0)
+	if h.opts.ResultViaDMA {
+		viaDMA = 1
+	}
+	if _, err := ctx.CallAsync(h.p, commInit,
+		uint64(seg.Key), uint64(lay.nbuf), uint64(lay.bufSize), uint64(lay.resultInline),
+		uint64(self), uint64(total), viaDMA,
+	).CallWaitResult(h.p); err != nil {
+		return nil, fmt.Errorf("dmab: ham_dmab_init: %w", err)
+	}
+	SetTargetArch(card, h.opts.TargetArch)
+	hamMain, err := lib.GetSym(h.p, "ham_main")
+	if err != nil {
+		return nil, err
+	}
+	ctx.CallAsync(h.p, hamMain)
+
+	return &conn{
+		proc:  proc,
+		card:  card,
+		seg:   seg,
+		lay:   lay,
+		seq:   make([]uint32, lay.nbuf),
+		inUse: make([]*handle, lay.nbuf),
+	}, nil
+}
+
+// Self implements core.Backend.
+func (h *Host) Self() core.NodeID { return 0 }
+
+// NumNodes implements core.Backend.
+func (h *Host) NumNodes() int { return len(h.conns) + 1 }
+
+// Descriptor implements core.Backend.
+func (h *Host) Descriptor(n core.NodeID) core.NodeDescriptor {
+	if n == 0 {
+		return h.descs[0]
+	}
+	i := int(n) - h.opts.NodeBase
+	if i < 1 || i >= len(h.descs) {
+		return core.NodeDescriptor{Name: "invalid"}
+	}
+	return h.descs[i]
+}
+
+func (h *Host) conn(target core.NodeID) (*conn, error) {
+	i := int(target) - h.opts.NodeBase - 1
+	if i < 0 || i >= len(h.conns) {
+		return nil, fmt.Errorf("dmab: no target node %d", target)
+	}
+	return h.conns[i], nil
+}
+
+// Call implements core.Backend: both the message write and the flag set are
+// local VH memory stores — the host side of Fig. 8.
+func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
+	c, err := h.conn(target)
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) > c.lay.bufSize || len(msg) > slots.MaxLen {
+		return nil, fmt.Errorf("dmab: message of %d bytes exceeds buffer size %d", len(msg), c.lay.bufSize)
+	}
+	defer c.card.Timing.Recorder.Span(h.p, "ham", "dmab-call")()
+	h.p.Sleep(c.card.Timing.HAMHostOverhead)
+	slot := c.next
+	c.next = (c.next + 1) % c.lay.nbuf
+	if prev := c.inUse[slot]; prev != nil {
+		if _, err := h.waitHandle(prev); err != nil {
+			return nil, fmt.Errorf("dmab: draining slot %d: %w", slot, err)
+		}
+	}
+	seq := c.seq[slot]
+	c.seq[slot]++
+
+	base := uint64(c.seg.Addr)
+	if err := h.host.Mem.WriteAt(msg, memA(base+c.lay.recvBufOff(slot))); err != nil {
+		return nil, err
+	}
+	h.p.Sleep(simtime.BytesOver(int64(len(msg)), c.card.Timing.HostMemCopyRate))
+	if err := h.host.Mem.WriteUint64(memA(base+c.lay.recvFlagOff(slot)), slots.Encode(seq, len(msg))); err != nil {
+		return nil, err
+	}
+	hd := &handle{target: target, slot: slot, seq: seq}
+	c.inUse[slot] = hd
+	return hd, nil
+}
+
+// pollSlot checks the local result flag once and completes the handle when
+// the VE has pushed the result.
+func (h *Host) pollSlot(c *conn, hd *handle) (bool, error) {
+	base := uint64(c.seg.Addr)
+	flag, err := h.host.Mem.ReadUint64(memA(base + c.lay.sendFlagOff(hd.slot)))
+	if err != nil {
+		return false, err
+	}
+	n, ok := slots.Decode(flag, hd.seq)
+	if !ok {
+		return false, nil
+	}
+	resp := make([]byte, n)
+	inline := n
+	if inline > c.lay.resultInline {
+		inline = c.lay.resultInline
+	}
+	if err := h.host.Mem.ReadAt(resp[:inline], memA(base+c.lay.sendInlineOff(hd.slot))); err != nil {
+		return false, err
+	}
+	if n > inline {
+		if err := h.host.Mem.ReadAt(resp[inline:], memA(base+c.lay.overflowOff(hd.slot))); err != nil {
+			return false, err
+		}
+	}
+	hd.resp = resp
+	hd.done = true
+	if c.inUse[hd.slot] == hd {
+		c.inUse[hd.slot] = nil
+	}
+	return true, nil
+}
+
+func (h *Host) waitHandle(hd *handle) ([]byte, error) {
+	c, err := h.conn(hd.target)
+	if err != nil {
+		return nil, err
+	}
+	defer c.card.Timing.Recorder.Span(h.p, "ham", "dmab-wait")()
+	for !hd.done {
+		ok, err := h.pollSlot(c, hd)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			h.p.Sleep(c.card.Timing.HAMHostPollInterval)
+		}
+	}
+	h.p.Sleep(c.card.Timing.HAMHostOverhead)
+	return hd.resp, nil
+}
+
+// Wait implements core.Backend.
+func (h *Host) Wait(hh core.Handle) ([]byte, error) {
+	hd, ok := hh.(*handle)
+	if !ok {
+		return nil, fmt.Errorf("dmab: foreign handle %T", hh)
+	}
+	return h.waitHandle(hd)
+}
+
+// Poll implements core.Backend.
+func (h *Host) Poll(hh core.Handle) ([]byte, bool, error) {
+	hd, ok := hh.(*handle)
+	if !ok {
+		return nil, false, fmt.Errorf("dmab: foreign handle %T", hh)
+	}
+	if hd.done {
+		return hd.resp, true, nil
+	}
+	c, err := h.conn(hd.target)
+	if err != nil {
+		return nil, false, err
+	}
+	// Each poll costs one local flag check; charging it keeps user-level
+	// Test() busy-wait loops advancing simulated time.
+	h.p.Sleep(c.card.Timing.HAMHostPollInterval)
+	done, err := h.pollSlot(c, hd)
+	if err != nil || !done {
+		return nil, false, err
+	}
+	return hd.resp, true, nil
+}
+
+// Put implements core.Backend through veo_write_mem — bulk data exchange
+// stays on the VEO API in this protocol, as in the paper.
+func (h *Host) Put(target core.NodeID, data []byte, dstAddr uint64) error {
+	c, err := h.conn(target)
+	if err != nil {
+		return err
+	}
+	stage, err := c.card.Host.Alloc(int64(len(data)))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.card.Host.Free(stage) }()
+	if err := c.card.Host.Mem.WriteAt(data, stage); err != nil {
+		return err
+	}
+	return c.proc.WriteMem(h.p, dstAddr, uint64(stage), int64(len(data)))
+}
+
+// Get implements core.Backend through veo_read_mem.
+func (h *Host) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
+	c, err := h.conn(target)
+	if err != nil {
+		return err
+	}
+	stage, err := c.card.Host.Alloc(int64(len(dst)))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.card.Host.Free(stage) }()
+	if err := c.proc.ReadMem(h.p, uint64(stage), srcAddr, int64(len(dst))); err != nil {
+		return err
+	}
+	return c.card.Host.Mem.ReadAt(dst, stage)
+}
+
+// Serve implements core.Backend; the host does not serve messages.
+func (h *Host) Serve(core.Server) error {
+	return fmt.Errorf("dmab: the host node does not serve active messages")
+}
+
+// Memory implements core.Backend.
+func (h *Host) Memory() core.LocalMemory { return h.mem }
+
+// ChargeVector implements core.Backend with the host roofline model.
+func (h *Host) ChargeVector(flops, bytes int64, cores int) {
+	h.p.Sleep(hostModel.VectorTime(flops, bytes, cores))
+}
+
+// ChargeScalar implements core.Backend.
+func (h *Host) ChargeScalar(ops int64) {
+	h.p.Sleep(simtime.Duration(float64(ops) / 2.6e9 * float64(simtime.Second)))
+}
+
+// Close implements core.Backend: tear down VE processes and shm segments.
+func (h *Host) Close() error {
+	var firstErr error
+	for _, c := range h.conns {
+		if err := c.proc.Destroy(h.p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := h.host.ShmRemove(c.seg.Key); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+var _ core.Backend = (*Host)(nil)

@@ -1,0 +1,280 @@
+package dmab
+
+import (
+	"fmt"
+
+	"hamoffload/internal/backend/adapter"
+	"hamoffload/internal/backend/slots"
+	"hamoffload/internal/core"
+	"hamoffload/internal/dma"
+	"hamoffload/internal/ham"
+	"hamoffload/internal/pcie"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/veos"
+)
+
+// LibraryName is the VE library with the DMA backend's kernels.
+const LibraryName = "libham-offload-dmab.so"
+
+// targetState is built by ham_dmab_init: the §IV-A memory setup of Fig. 7.
+type targetState struct {
+	lay          layout
+	arch         string
+	selfNode     int
+	numNodes     int
+	resultViaDMA bool
+
+	shmVEHVA   uint64 // DMAATB mapping of the VH shared-memory segment
+	stageAddr  uint64 // local HBM staging buffer (VEMVA)
+	stageVEHVA uint64 // DMAATB mapping of the staging buffer
+}
+
+var states = map[*veos.Card]*targetState{}
+
+// SetTargetArch records the architecture label of the card's target binary.
+func SetTargetArch(card *veos.Card, arch string) {
+	if st, ok := states[card]; ok {
+		st.arch = arch
+	}
+}
+
+func init() {
+	veos.RegisterLibrary(LibraryName, veos.Library{
+		// ham_dmab_init performs the VE side of Fig. 7: attach the VH shm
+		// segment by key, register it and a local staging buffer in the
+		// DMAATB, making both addressable for user DMA and LHM/SHM.
+		"ham_dmab_init": func(ctx *veos.Ctx, args []uint64) (uint64, error) {
+			if len(args) != 7 {
+				return 0, fmt.Errorf("dmab: ham_dmab_init wants 7 args, got %d", len(args))
+			}
+			card := ctx.Context.Process().Card()
+			st := &targetState{
+				lay: layout{
+					nbuf:         int(args[1]),
+					bufSize:      int(args[2]),
+					resultInline: int(args[3]),
+				},
+				selfNode:     int(args[4]),
+				numNodes:     int(args[5]),
+				resultViaDMA: args[6] != 0,
+			}
+			seg, err := card.Host.ShmGet(int(args[0]))
+			if err != nil {
+				return 0, err
+			}
+			shmVEHVA, err := card.Mem.ATB().Register(card.Host.Mem, seg.Addr, seg.Size)
+			if err != nil {
+				return 0, err
+			}
+			ctx.P.Sleep(card.Timing.DMAATBRegister)
+			stage, err := card.Mem.Alloc(int64(st.lay.bufSize))
+			if err != nil {
+				return 0, err
+			}
+			stageVEHVA, err := card.Mem.ATB().Register(card.Mem.HBM, stage, int64(st.lay.bufSize))
+			if err != nil {
+				return 0, err
+			}
+			ctx.P.Sleep(card.Timing.DMAATBRegister)
+			st.shmVEHVA = uint64(shmVEHVA)
+			st.stageAddr = uint64(stage)
+			st.stageVEHVA = uint64(stageVEHVA)
+			states[card] = st
+			return 0, nil
+		},
+		"ham_main": func(ctx *veos.Ctx, args []uint64) (uint64, error) {
+			card := ctx.Context.Process().Card()
+			st, ok := states[card]
+			if !ok {
+				return 1, fmt.Errorf("dmab: ham_main before ham_dmab_init on VE %d", card.ID)
+			}
+			t := &Target{kctx: ctx, st: st, heap: &adapter.VEHeap{VE: card.Mem}}
+			rt := core.NewRuntime(t, st.arch)
+			if err := rt.Serve(); err != nil {
+				return 1, err
+			}
+			return 0, nil
+		},
+	})
+}
+
+// Target is the VE-side backend of the DMA protocol: the active side of
+// Fig. 8. It polls receive flags in VH memory via LHM, fetches messages with
+// user DMA, and pushes results back with SHM stores (or a DMA write).
+type Target struct {
+	kctx *veos.Ctx
+	st   *targetState
+	heap *adapter.VEHeap
+}
+
+// Self implements core.Backend.
+func (t *Target) Self() core.NodeID { return core.NodeID(t.st.selfNode) }
+
+// NumNodes implements core.Backend.
+func (t *Target) NumNodes() int { return t.st.numNodes }
+
+// Descriptor implements core.Backend.
+func (t *Target) Descriptor(n core.NodeID) core.NodeDescriptor {
+	if n == t.Self() {
+		return core.NodeDescriptor{
+			Name:   fmt.Sprintf("ve%d", t.kctx.Context.Process().Card().ID),
+			Arch:   t.st.arch,
+			Device: "NEC VE Type 10B",
+		}
+	}
+	if n == 0 {
+		return core.NodeDescriptor{Name: "vh", Arch: "x86_64", Device: "Vector Host"}
+	}
+	return core.NodeDescriptor{Name: fmt.Sprintf("node%d", n)}
+}
+
+// Call implements core.Backend; targets do not initiate offloads.
+func (t *Target) Call(core.NodeID, []byte) (core.Handle, error) {
+	return nil, fmt.Errorf("dmab: targets cannot initiate offloads")
+}
+
+// Wait implements core.Backend.
+func (t *Target) Wait(core.Handle) ([]byte, error) {
+	return nil, fmt.Errorf("dmab: targets cannot initiate offloads")
+}
+
+// Poll implements core.Backend.
+func (t *Target) Poll(core.Handle) ([]byte, bool, error) {
+	return nil, false, fmt.Errorf("dmab: targets cannot initiate offloads")
+}
+
+// Put implements core.Backend.
+func (t *Target) Put(core.NodeID, []byte, uint64) error {
+	return fmt.Errorf("dmab: targets cannot initiate transfers")
+}
+
+// Get implements core.Backend.
+func (t *Target) Get(core.NodeID, uint64, []byte) error {
+	return fmt.Errorf("dmab: targets cannot initiate transfers")
+}
+
+// Serve implements core.Backend: the VE-side message loop of Fig. 8. The VE
+// actively fetches its messages after seeing a flag via LHM — the cost the
+// paper notes the VE pays before executing — while the host finds results in
+// its local memory.
+func (t *Target) Serve(s core.Server) error {
+	card := t.kctx.Context.Process().Card()
+	tm := card.Timing
+	lay := t.st.lay
+	instr := t.kctx.Instr()
+	udma := t.kctx.UserDMA()
+	seq := make([]uint32, lay.nbuf)
+	next := 0
+
+	const backoffAfter = 500 * simtime.Microsecond
+	interval := tm.HAMVEPollInterval
+	var idle simtime.Duration
+
+	for !s.Done() {
+		flag, err := instr.LoadWord(t.kctx.P, memA(t.st.shmVEHVA+lay.recvFlagOff(next)))
+		if err != nil {
+			return err
+		}
+		n, ok := slots.Decode(flag, seq[next])
+		if !ok {
+			t.kctx.P.Sleep(interval)
+			idle += interval + tm.LHMPerWord
+			if idle >= backoffAfter && interval < tm.HAMVEPollInterval*512 {
+				interval *= 2
+			}
+			continue
+		}
+		interval = tm.HAMVEPollInterval
+		idle = 0
+
+		// Fetch the message into the local staging buffer via user DMA
+		// (pre-built descriptor hot path, not the ve_dma_post_wait API).
+		if err := udma.Post(t.kctx.P, dma.Raw, pcie.Down,
+			memA(t.st.stageVEHVA), memA(t.st.shmVEHVA+lay.recvBufOff(next)), int64(n)); err != nil {
+			return err
+		}
+		msg := make([]byte, n)
+		if err := card.Mem.HBM.ReadAt(msg, memA(t.st.stageAddr)); err != nil {
+			return err
+		}
+		t.kctx.P.Sleep(tm.HAMVEOverhead)
+
+		endExec := tm.Recorder.Span(t.kctx.P, "ham", "dmab-execute")
+		resp := s.Dispatch(msg)
+		endExec()
+		if err := t.respond(lay, next, seq[next], resp); err != nil {
+			return err
+		}
+		seq[next]++
+		next = (next + 1) % lay.nbuf
+	}
+	return nil
+}
+
+// respond pushes the result into the VH send slot: inline payload via SHM
+// word stores (the §V-B finding: SHM beats DMA up to 256 B), overflow via a
+// user-DMA write, flag last.
+func (t *Target) respond(lay layout, slot int, seq uint32, resp []byte) error {
+	card := t.kctx.Context.Process().Card()
+	instr := t.kctx.Instr()
+	udma := t.kctx.UserDMA()
+	p := t.kctx.P
+	if len(resp) > lay.resultInline+lay.bufSize {
+		resp = encodeOverflowError(len(resp))
+	}
+	inline := len(resp)
+	if inline > lay.resultInline {
+		inline = lay.resultInline
+	}
+	useDMA := t.st.resultViaDMA
+	if inline > 0 {
+		if useDMA {
+			// Ablation path: stage the inline part locally, DMA it out.
+			if err := card.Mem.HBM.WriteAt(resp[:inline], memA(t.st.stageAddr)); err != nil {
+				return err
+			}
+			if err := udma.Post(p, dma.Raw, pcie.Up,
+				memA(t.st.shmVEHVA+lay.sendInlineOff(slot)), memA(t.st.stageVEHVA), int64(inline)); err != nil {
+				return err
+			}
+		} else {
+			if err := instr.StoreBytes(p, memA(t.st.shmVEHVA+lay.sendInlineOff(slot)), resp[:inline]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(resp) > inline {
+		over := resp[inline:]
+		if err := card.Mem.HBM.WriteAt(over, memA(t.st.stageAddr)); err != nil {
+			return err
+		}
+		if err := udma.Post(p, dma.Raw, pcie.Up,
+			memA(t.st.shmVEHVA+lay.overflowOff(slot)), memA(t.st.stageVEHVA), int64(len(over))); err != nil {
+			return err
+		}
+	}
+	return instr.StoreWord(p, memA(t.st.shmVEHVA+lay.sendFlagOff(slot)), slots.Encode(seq, len(resp)))
+}
+
+// encodeOverflowError builds a ham failure response for oversized results.
+func encodeOverflowError(n int) []byte {
+	return ham.EncodeFailure(fmt.Sprintf("dmab: result of %d bytes exceeds the send buffer", n))
+}
+
+// Memory implements core.Backend.
+func (t *Target) Memory() core.LocalMemory { return t.heap }
+
+// ChargeVector implements core.Backend with the VE roofline model.
+func (t *Target) ChargeVector(flops, bytes int64, cores int) {
+	t.kctx.ChargeVector(flops, bytes, cores)
+}
+
+// ChargeScalar implements core.Backend.
+func (t *Target) ChargeScalar(ops int64) {
+	t.kctx.ChargeScalar(ops)
+}
+
+// Close implements core.Backend.
+func (t *Target) Close() error { return nil }
+
+var _ core.Backend = (*Target)(nil)

@@ -1,0 +1,199 @@
+// Package locb is the in-process loopback communication backend: host and
+// target are goroutines in one OS process connected by channels, with a
+// plain heap as target memory. It exists to exercise the HAM-Offload
+// runtime, protocol bookkeeping and user code without the machine
+// simulation, and serves as the reference Backend implementation.
+package locb
+
+import (
+	"fmt"
+	"sync"
+
+	"hamoffload/internal/core"
+)
+
+type request struct {
+	msg  []byte
+	resp chan []byte
+}
+
+// lockedHeap makes a core.Heap safe for the concurrent host/target access
+// the loopback wiring allows.
+type lockedHeap struct {
+	mu sync.Mutex
+	h  *core.Heap
+}
+
+func (l *lockedHeap) Alloc(n int64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Alloc(n)
+}
+
+func (l *lockedHeap) Free(addr uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Free(addr)
+}
+
+func (l *lockedHeap) Read(addr uint64, p []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Read(addr, p)
+}
+
+func (l *lockedHeap) Write(addr uint64, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Write(addr, data)
+}
+
+// Node is one side of a loopback application.
+type Node struct {
+	self  core.NodeID
+	descs []core.NodeDescriptor
+	heaps []*lockedHeap
+	chans []chan request // chans[n] is the inbox of node n
+}
+
+// NewPair creates a two-node loopback application (host node 0, target
+// node 1) with heapSize bytes of memory per node.
+func NewPair(heapSize int64) (*Node, *Node, error) {
+	return newN(2, heapSize)
+}
+
+// NewN creates an n-node loopback application. Node 0 is the host.
+func NewN(n int, heapSize int64) ([]*Node, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("locb: need at least 2 nodes, got %d", n)
+	}
+	host, target, err := newN(n, heapSize)
+	if err != nil {
+		return nil, err
+	}
+	nodes := []*Node{host, target}
+	for i := 2; i < n; i++ {
+		nodes = append(nodes, &Node{
+			self:  core.NodeID(i),
+			descs: host.descs,
+			heaps: host.heaps,
+			chans: host.chans,
+		})
+	}
+	return nodes, nil
+}
+
+func newN(n int, heapSize int64) (*Node, *Node, error) {
+	descs := make([]core.NodeDescriptor, n)
+	heaps := make([]*lockedHeap, n)
+	chans := make([]chan request, n)
+	for i := 0; i < n; i++ {
+		role, arch := "target", "loopback-target"
+		if i == 0 {
+			role, arch = "host", "loopback-host"
+		}
+		descs[i] = core.NodeDescriptor{
+			Name:   fmt.Sprintf("loc%d", i),
+			Arch:   arch,
+			Device: role,
+		}
+		h, err := core.NewHeap(fmt.Sprintf("locb%d", i), heapSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		heaps[i] = &lockedHeap{h: h}
+		chans[i] = make(chan request, 64)
+	}
+	mk := func(self int) *Node {
+		return &Node{self: core.NodeID(self), descs: descs, heaps: heaps, chans: chans}
+	}
+	return mk(0), mk(1), nil
+}
+
+// Self implements core.Backend.
+func (b *Node) Self() core.NodeID { return b.self }
+
+// NumNodes implements core.Backend.
+func (b *Node) NumNodes() int { return len(b.chans) }
+
+// Descriptor implements core.Backend.
+func (b *Node) Descriptor(n core.NodeID) core.NodeDescriptor {
+	if int(n) < 0 || int(n) >= len(b.descs) {
+		return core.NodeDescriptor{Name: "invalid"}
+	}
+	return b.descs[n]
+}
+
+// Call implements core.Backend.
+func (b *Node) Call(target core.NodeID, msg []byte) (core.Handle, error) {
+	if int(target) < 0 || int(target) >= len(b.chans) {
+		return nil, fmt.Errorf("locb: no node %d", target)
+	}
+	req := request{msg: msg, resp: make(chan []byte, 1)}
+	b.chans[target] <- req
+	return req.resp, nil
+}
+
+// Wait implements core.Backend.
+func (b *Node) Wait(h core.Handle) ([]byte, error) {
+	ch, ok := h.(chan []byte)
+	if !ok {
+		return nil, fmt.Errorf("locb: foreign handle %T", h)
+	}
+	return <-ch, nil
+}
+
+// Poll implements core.Backend.
+func (b *Node) Poll(h core.Handle) ([]byte, bool, error) {
+	ch, ok := h.(chan []byte)
+	if !ok {
+		return nil, false, fmt.Errorf("locb: foreign handle %T", h)
+	}
+	select {
+	case resp := <-ch:
+		return resp, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// Put implements core.Backend by writing straight into the target heap.
+func (b *Node) Put(target core.NodeID, data []byte, dstAddr uint64) error {
+	if int(target) < 0 || int(target) >= len(b.heaps) {
+		return fmt.Errorf("locb: no node %d", target)
+	}
+	return b.heaps[target].Write(dstAddr, data)
+}
+
+// Get implements core.Backend.
+func (b *Node) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
+	if int(target) < 0 || int(target) >= len(b.heaps) {
+		return fmt.Errorf("locb: no node %d", target)
+	}
+	return b.heaps[target].Read(srcAddr, dst)
+}
+
+// Serve implements core.Backend: the target message loop.
+func (b *Node) Serve(s core.Server) error {
+	inbox := b.chans[b.self]
+	for !s.Done() {
+		req := <-inbox
+		req.resp <- s.Dispatch(req.msg)
+	}
+	return nil
+}
+
+// Memory implements core.Backend.
+func (b *Node) Memory() core.LocalMemory { return b.heaps[b.self] }
+
+// ChargeVector implements core.Backend; wall-clock nodes compute for real,
+// so no simulated time is charged.
+func (b *Node) ChargeVector(flops, bytes int64, cores int) {}
+
+// ChargeScalar implements core.Backend.
+func (b *Node) ChargeScalar(ops int64) {}
+
+// Close implements core.Backend.
+func (b *Node) Close() error { return nil }
+
+var _ core.Backend = (*Node)(nil)

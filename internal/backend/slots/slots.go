@@ -1,0 +1,36 @@
+// Package slots provides the notification-flag encoding shared by the two
+// SX-Aurora protocols. Each message buffer has an adjacent 64-bit flag; a
+// flag value packs a per-slot sequence number with the message length, so
+// neither side ever needs to reset a flag it cannot write cheaply — the
+// reader simply waits for the sequence number it expects (the paper's
+// "invalid value to an index" transition, §III-D, hardened for slot reuse).
+package slots
+
+// FlagBits is the width of one notification flag in bytes.
+const FlagBits = 8
+
+// Encode packs a sequence number and payload length into a flag word.
+// Length is offset by one so that a zero word (fresh memory) is never a
+// valid flag.
+func Encode(seq uint32, length int) uint64 {
+	return uint64(seq)<<24 | uint64(length+1)
+}
+
+// Decode splits a flag word; ok reports whether it carries the expected
+// sequence number and a valid length.
+func Decode(flag uint64, wantSeq uint32) (length int, ok bool) {
+	if flag == 0 {
+		return 0, false
+	}
+	if uint32(flag>>24) != wantSeq {
+		return 0, false
+	}
+	l := int(flag&0xffffff) - 1
+	if l < 0 {
+		return 0, false
+	}
+	return l, true
+}
+
+// MaxLen is the largest payload length a flag can carry.
+const MaxLen = 1<<24 - 2

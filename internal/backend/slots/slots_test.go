@@ -1,0 +1,41 @@
+package slots
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	f := Encode(3, 100)
+	if l, ok := Decode(f, 3); !ok || l != 100 {
+		t.Fatalf("Decode = %d,%v", l, ok)
+	}
+	if _, ok := Decode(f, 4); ok {
+		t.Error("wrong sequence accepted")
+	}
+	if _, ok := Decode(0, 0); ok {
+		t.Error("zero flag accepted")
+	}
+}
+
+func TestZeroLengthMessage(t *testing.T) {
+	f := Encode(0, 0)
+	if f == 0 {
+		t.Fatal("zero-length at seq 0 encodes to the invalid flag")
+	}
+	if l, ok := Decode(f, 0); !ok || l != 0 {
+		t.Fatalf("Decode = %d,%v", l, ok)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq uint32, length uint32) bool {
+		l := int(length % MaxLen)
+		flag := Encode(seq, l)
+		got, ok := Decode(flag, seq)
+		return ok && got == l && flag != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package tcpb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hamoffload/internal/core"
+)
+
+// Target is the serving side of the TCP backend: it accepts one host
+// connection and processes frames until terminated.
+type Target struct {
+	ln    net.Listener
+	self  core.NodeID
+	total int
+	heap  *lockedHeap
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// lockedHeap guards the heap against concurrent put/get and dispatch access.
+type lockedHeap struct {
+	mu sync.Mutex
+	h  *core.Heap
+}
+
+func (l *lockedHeap) Alloc(n int64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Alloc(n)
+}
+
+func (l *lockedHeap) Free(addr uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Free(addr)
+}
+
+func (l *lockedHeap) Read(addr uint64, p []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Read(addr, p)
+}
+
+func (l *lockedHeap) Write(addr uint64, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Write(addr, data)
+}
+
+// Listen starts a target on addr (e.g. "127.0.0.1:0"). self is this node's
+// rank (usually 1), total the application's node count; heapBytes sizes the
+// node's memory.
+func Listen(addr string, self, total int, heapBytes int64) (*Target, error) {
+	if self <= 0 || self >= total {
+		return nil, fmt.Errorf("tcpb: target rank %d must be in 1..%d", self, total-1)
+	}
+	heap, err := core.NewHeap(fmt.Sprintf("tcpb-node%d", self), heapBytes)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{ln: ln, self: core.NodeID(self), total: total, heap: &lockedHeap{h: heap}}, nil
+}
+
+// Addr returns the listening address, for handing to Dial.
+func (t *Target) Addr() string { return t.ln.Addr().String() }
+
+// Self implements core.Backend.
+func (t *Target) Self() core.NodeID { return t.self }
+
+// NumNodes implements core.Backend.
+func (t *Target) NumNodes() int { return t.total }
+
+// Descriptor implements core.Backend.
+func (t *Target) Descriptor(n core.NodeID) core.NodeDescriptor {
+	if n == t.self {
+		return core.NodeDescriptor{
+			Name: fmt.Sprintf("tcp%d", t.self), Arch: "tcp-target", Device: t.Addr(),
+		}
+	}
+	if n == 0 {
+		return core.NodeDescriptor{Name: "host", Arch: "tcp-host", Device: "initiator"}
+	}
+	return core.NodeDescriptor{Name: fmt.Sprintf("node%d", n)}
+}
+
+// Call implements core.Backend; targets do not initiate offloads over TCP.
+func (t *Target) Call(core.NodeID, []byte) (core.Handle, error) {
+	return nil, fmt.Errorf("tcpb: targets cannot initiate offloads")
+}
+
+// Wait implements core.Backend.
+func (t *Target) Wait(core.Handle) ([]byte, error) {
+	return nil, fmt.Errorf("tcpb: targets cannot initiate offloads")
+}
+
+// Poll implements core.Backend.
+func (t *Target) Poll(core.Handle) ([]byte, bool, error) {
+	return nil, false, fmt.Errorf("tcpb: targets cannot initiate offloads")
+}
+
+// Put implements core.Backend.
+func (t *Target) Put(core.NodeID, []byte, uint64) error {
+	return fmt.Errorf("tcpb: targets cannot initiate transfers")
+}
+
+// Get implements core.Backend.
+func (t *Target) Get(core.NodeID, uint64, []byte) error {
+	return fmt.Errorf("tcpb: targets cannot initiate transfers")
+}
+
+// Serve implements core.Backend: accept the host connection and process
+// frames until a terminate message has been dispatched.
+func (t *Target) Serve(s core.Server) error {
+	conn, err := t.ln.Accept()
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.conn = conn
+	t.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		_ = t.ln.Close()
+	}()
+	for !s.Done() {
+		typ, id, addr, payload, err := readFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("tcpb: host disconnected before terminate")
+			}
+			return err
+		}
+		switch typ {
+		case frameCall:
+			resp := s.Dispatch(payload)
+			if err := writeFrame(conn, frameResp, id, 0, resp); err != nil {
+				return err
+			}
+		case framePut:
+			if err := t.heap.Write(addr, payload); err != nil {
+				if werr := writeFrame(conn, frameError, id, 0, []byte(err.Error())); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := writeFrame(conn, frameAck, id, 0, nil); err != nil {
+				return err
+			}
+		case frameGet:
+			if len(payload) != 4 {
+				return fmt.Errorf("tcpb: malformed get frame")
+			}
+			n := binary.LittleEndian.Uint32(payload)
+			buf := make([]byte, n)
+			if err := t.heap.Read(addr, buf); err != nil {
+				if werr := writeFrame(conn, frameError, id, 0, []byte(err.Error())); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := writeFrame(conn, frameData, id, 0, buf); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("tcpb: unexpected frame type %d from host", typ)
+		}
+	}
+	return nil
+}
+
+// Memory implements core.Backend.
+func (t *Target) Memory() core.LocalMemory { return t.heap }
+
+// ChargeVector implements core.Backend.
+func (t *Target) ChargeVector(flops, bytes int64, cores int) {}
+
+// ChargeScalar implements core.Backend.
+func (t *Target) ChargeScalar(ops int64) {}
+
+// Close implements core.Backend.
+func (t *Target) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		_ = t.conn.Close()
+	}
+	return t.ln.Close()
+}
+
+var _ core.Backend = (*Target)(nil)

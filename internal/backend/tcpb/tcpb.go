@@ -1,0 +1,300 @@
+// Package tcpb is the portable TCP/IP communication backend of HAM-Offload
+// (Fig. 1). It trades performance for interoperability, exactly as the paper
+// describes (§I-A): it runs over real sockets between OS processes (or
+// goroutines), enabling offloading between hosts where neither MPI nor a
+// PCIe-attached accelerator is available — including the paper's
+// x86-to-anything scenario. On the SX-Aurora itself it is not usable because
+// the VE runs no network stack, which is why the two dedicated protocols
+// exist.
+package tcpb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hamoffload/internal/core"
+)
+
+// Frame types of the wire protocol.
+const (
+	frameCall  = 1 // host → target: active message; expects frameResp
+	frameResp  = 2 // target → host: response payload
+	framePut   = 3 // host → target: addr + data; expects frameAck
+	frameGet   = 4 // host → target: addr + length; expects frameData
+	frameAck   = 5
+	frameData  = 6
+	frameError = 7 // target → host: failed put/get
+)
+
+// frame header: type u8, id u64, addr u64, length u32 (of payload).
+const headerSize = 1 + 8 + 8 + 4
+
+func writeFrame(w io.Writer, typ byte, id, addr uint64, payload []byte) error {
+	var hdr [headerSize]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint64(hdr[1:], id)
+	binary.LittleEndian.PutUint64(hdr[9:], addr)
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (typ byte, id, addr uint64, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	typ = hdr[0]
+	id = binary.LittleEndian.Uint64(hdr[1:])
+	addr = binary.LittleEndian.Uint64(hdr[9:])
+	n := binary.LittleEndian.Uint32(hdr[17:])
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return typ, id, addr, payload, nil
+}
+
+// Host is the initiator side: one TCP connection per target node.
+type Host struct {
+	conns []*hostConn
+	descs []core.NodeDescriptor
+	heap  *core.Heap
+}
+
+type hostConn struct {
+	c      net.Conn
+	mu     sync.Mutex // serialises writes
+	nextID uint64
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan result
+	readErr error
+}
+
+type result struct {
+	typ     byte
+	payload []byte
+}
+
+// Dial connects to the listed target addresses; they become nodes 1..n.
+// heapBytes sizes the host's own local memory.
+func Dial(addrs []string, heapBytes int64) (*Host, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("tcpb: no target addresses")
+	}
+	heap, err := core.NewHeap("tcpb-host", heapBytes)
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{heap: heap}
+	h.descs = append(h.descs, core.NodeDescriptor{Name: "host", Arch: "tcp-host", Device: "initiator"})
+	for i, addr := range addrs {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			h.closeAll()
+			return nil, fmt.Errorf("tcpb: dialing node %d at %s: %w", i+1, addr, err)
+		}
+		hc := &hostConn{c: c, pending: make(map[uint64]chan result)}
+		go hc.readLoop()
+		h.conns = append(h.conns, hc)
+		h.descs = append(h.descs, core.NodeDescriptor{
+			Name: fmt.Sprintf("tcp%d", i+1), Arch: "tcp-target", Device: addr,
+		})
+	}
+	return h, nil
+}
+
+func (hc *hostConn) readLoop() {
+	for {
+		typ, id, _, payload, err := readFrame(hc.c)
+		if err != nil {
+			hc.pendMu.Lock()
+			hc.readErr = err
+			for _, ch := range hc.pending {
+				close(ch)
+			}
+			hc.pending = make(map[uint64]chan result)
+			hc.pendMu.Unlock()
+			return
+		}
+		hc.pendMu.Lock()
+		ch, ok := hc.pending[id]
+		if ok {
+			delete(hc.pending, id)
+		}
+		hc.pendMu.Unlock()
+		if ok {
+			ch <- result{typ: typ, payload: payload}
+		}
+	}
+}
+
+// send writes a frame and registers a response channel for its id.
+func (hc *hostConn) send(typ byte, addr uint64, payload []byte) (chan result, uint64, error) {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	hc.pendMu.Lock()
+	if err := hc.readErr; err != nil {
+		hc.pendMu.Unlock()
+		return nil, 0, fmt.Errorf("tcpb: connection broken: %w", err)
+	}
+	hc.nextID++
+	id := hc.nextID
+	ch := make(chan result, 1)
+	hc.pending[id] = ch
+	hc.pendMu.Unlock()
+	if err := writeFrame(hc.c, typ, id, addr, payload); err != nil {
+		hc.pendMu.Lock()
+		delete(hc.pending, id)
+		hc.pendMu.Unlock()
+		return nil, 0, err
+	}
+	return ch, id, nil
+}
+
+func (hc *hostConn) roundTrip(typ byte, addr uint64, payload []byte, wantTyp byte) ([]byte, error) {
+	ch, _, err := hc.send(typ, addr, payload)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("tcpb: connection closed while waiting")
+	}
+	if res.typ == frameError {
+		return nil, fmt.Errorf("tcpb: remote error: %s", res.payload)
+	}
+	if res.typ != wantTyp {
+		return nil, fmt.Errorf("tcpb: unexpected frame type %d (want %d)", res.typ, wantTyp)
+	}
+	return res.payload, nil
+}
+
+// Self implements core.Backend.
+func (h *Host) Self() core.NodeID { return 0 }
+
+// NumNodes implements core.Backend.
+func (h *Host) NumNodes() int { return len(h.conns) + 1 }
+
+// Descriptor implements core.Backend.
+func (h *Host) Descriptor(n core.NodeID) core.NodeDescriptor {
+	if int(n) < 0 || int(n) >= len(h.descs) {
+		return core.NodeDescriptor{Name: "invalid"}
+	}
+	return h.descs[n]
+}
+
+func (h *Host) conn(target core.NodeID) (*hostConn, error) {
+	i := int(target) - 1
+	if i < 0 || i >= len(h.conns) {
+		return nil, fmt.Errorf("tcpb: no target node %d", target)
+	}
+	return h.conns[i], nil
+}
+
+// Call implements core.Backend.
+func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
+	hc, err := h.conn(target)
+	if err != nil {
+		return nil, err
+	}
+	ch, _, err := hc.send(frameCall, 0, msg)
+	if err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Wait implements core.Backend.
+func (h *Host) Wait(hh core.Handle) ([]byte, error) {
+	ch, ok := hh.(chan result)
+	if !ok {
+		return nil, fmt.Errorf("tcpb: foreign handle %T", hh)
+	}
+	res, open := <-ch
+	if !open {
+		return nil, fmt.Errorf("tcpb: connection closed while waiting")
+	}
+	return res.payload, nil
+}
+
+// Poll implements core.Backend.
+func (h *Host) Poll(hh core.Handle) ([]byte, bool, error) {
+	ch, ok := hh.(chan result)
+	if !ok {
+		return nil, false, fmt.Errorf("tcpb: foreign handle %T", hh)
+	}
+	select {
+	case res, open := <-ch:
+		if !open {
+			return nil, false, fmt.Errorf("tcpb: connection closed while waiting")
+		}
+		return res.payload, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// Put implements core.Backend.
+func (h *Host) Put(target core.NodeID, data []byte, dstAddr uint64) error {
+	hc, err := h.conn(target)
+	if err != nil {
+		return err
+	}
+	_, err = hc.roundTrip(framePut, dstAddr, data, frameAck)
+	return err
+}
+
+// Get implements core.Backend.
+func (h *Host) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
+	hc, err := h.conn(target)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(dst)))
+	payload, err := hc.roundTrip(frameGet, srcAddr, lenBuf[:], frameData)
+	if err != nil {
+		return err
+	}
+	if len(payload) != len(dst) {
+		return fmt.Errorf("tcpb: get returned %d bytes, want %d", len(payload), len(dst))
+	}
+	copy(dst, payload)
+	return nil
+}
+
+// Serve implements core.Backend; hosts do not serve in this backend.
+func (h *Host) Serve(core.Server) error {
+	return fmt.Errorf("tcpb: the host node does not serve active messages")
+}
+
+// Memory implements core.Backend.
+func (h *Host) Memory() core.LocalMemory { return h.heap }
+
+// ChargeVector implements core.Backend; wall-clock nodes compute for real.
+func (h *Host) ChargeVector(flops, bytes int64, cores int) {}
+
+// ChargeScalar implements core.Backend.
+func (h *Host) ChargeScalar(ops int64) {}
+
+// Close implements core.Backend.
+func (h *Host) Close() error {
+	h.closeAll()
+	return nil
+}
+
+func (h *Host) closeAll() {
+	for _, hc := range h.conns {
+		_ = hc.c.Close()
+	}
+}
+
+var _ core.Backend = (*Host)(nil)

@@ -1,0 +1,17 @@
+package veob
+
+import (
+	"hamoffload/internal/backend/adapter"
+	"hamoffload/internal/mem"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/vecore"
+)
+
+type topoTiming = topology.Timing
+
+var hostModel = vecore.DefaultHostModel()
+
+func memA(a uint64) mem.Addr { return mem.Addr(a) }
+
+// VEHeap is re-exported for the target backend's memory.
+type VEHeap = adapter.VEHeap

@@ -1,0 +1,235 @@
+package veob
+
+import (
+	"fmt"
+
+	"hamoffload/internal/backend/slots"
+	"hamoffload/internal/core"
+	"hamoffload/internal/ham"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/veos"
+)
+
+// LibraryName is the VE library containing the backend's C-API kernels and
+// ham_main — the build product of Fig. 4's target-side compilation.
+const LibraryName = "libham-offload-veob.so"
+
+// targetState carries the communication-area description from ham_comm_init
+// to ham_main within one VE process.
+type targetState struct {
+	lay      layout
+	arch     string
+	selfNode int
+	numNodes int
+}
+
+// states holds per-card target state. The simulation is single-threaded per
+// engine, so a plain map suffices.
+var states = map[*veos.Card]*targetState{}
+
+func init() {
+	veos.RegisterLibrary(LibraryName, veos.Library{
+		// ham_comm_init receives the addresses of the host-managed
+		// communication data structures (Fig. 4's HAM-Offload C-API).
+		"ham_comm_init": func(ctx *veos.Ctx, args []uint64) (uint64, error) {
+			if len(args) != 6 {
+				return 0, fmt.Errorf("veob: ham_comm_init wants 6 args, got %d", len(args))
+			}
+			card := ctx.Context.Process().Card()
+			st := &targetState{
+				selfNode: int(args[4]),
+				numNodes: int(args[5]),
+			}
+			st.lay = makeLayout(Options{
+				NumBuffers:   int(args[1]),
+				BufSize:      int(args[2]),
+				ResultInline: int(args[3]),
+			}, args[0])
+			states[card] = st
+			return 0, nil
+		},
+		// ham_main runs the HAM-Offload runtime's message-processing loop —
+		// the renamed main() of the target binary (§III-C).
+		"ham_main": func(ctx *veos.Ctx, args []uint64) (uint64, error) {
+			card := ctx.Context.Process().Card()
+			st, ok := states[card]
+			if !ok {
+				return 1, fmt.Errorf("veob: ham_main before ham_comm_init on VE %d", card.ID)
+			}
+			t := &Target{kctx: ctx, st: st, heap: &VEHeap{VE: card.Mem}}
+			rt := core.NewRuntime(t, st.arch)
+			if err := rt.Serve(); err != nil {
+				return 1, err
+			}
+			return 0, nil
+		},
+	})
+}
+
+// Target is the VE-side backend: it polls the receive flags in local memory,
+// executes messages, and leaves results in the local send slots for the host
+// to fetch.
+type Target struct {
+	kctx *veos.Ctx
+	st   *targetState
+	heap *VEHeap
+}
+
+// Self implements core.Backend.
+func (t *Target) Self() core.NodeID { return core.NodeID(t.st.selfNode) }
+
+// NumNodes implements core.Backend.
+func (t *Target) NumNodes() int { return t.st.numNodes }
+
+// Descriptor implements core.Backend.
+func (t *Target) Descriptor(n core.NodeID) core.NodeDescriptor {
+	if n == t.Self() {
+		return core.NodeDescriptor{
+			Name:   fmt.Sprintf("ve%d", t.kctx.Context.Process().Card().ID),
+			Arch:   t.st.arch,
+			Device: "NEC VE Type 10B",
+		}
+	}
+	if n == 0 {
+		return core.NodeDescriptor{Name: "vh", Arch: "x86_64", Device: "Vector Host"}
+	}
+	return core.NodeDescriptor{Name: fmt.Sprintf("node%d", n)}
+}
+
+// Call implements core.Backend; the VEO protocol is host-initiated only.
+func (t *Target) Call(core.NodeID, []byte) (core.Handle, error) {
+	return nil, fmt.Errorf("veob: targets cannot initiate offloads in the VEO protocol")
+}
+
+// Wait implements core.Backend.
+func (t *Target) Wait(core.Handle) ([]byte, error) {
+	return nil, fmt.Errorf("veob: targets cannot initiate offloads in the VEO protocol")
+}
+
+// Poll implements core.Backend.
+func (t *Target) Poll(core.Handle) ([]byte, bool, error) {
+	return nil, false, fmt.Errorf("veob: targets cannot initiate offloads in the VEO protocol")
+}
+
+// Put implements core.Backend.
+func (t *Target) Put(core.NodeID, []byte, uint64) error {
+	return fmt.Errorf("veob: targets cannot initiate transfers in the VEO protocol")
+}
+
+// Get implements core.Backend.
+func (t *Target) Get(core.NodeID, uint64, []byte) error {
+	return fmt.Errorf("veob: targets cannot initiate transfers in the VEO protocol")
+}
+
+// Serve implements core.Backend: the message-processing loop of §III-D. The
+// runtime polls the next receive buffer's flag in local memory; when the
+// host has written a message, it is executed through HAM and the result
+// message is written into the paired send slot.
+func (t *Target) Serve(s core.Server) error {
+	card := t.kctx.Context.Process().Card()
+	tm := card.Timing
+	lay := t.st.lay
+	seq := make([]uint32, lay.nbuf)
+	next := 0
+
+	const backoffAfter = 500 * simtime.Microsecond
+	interval := tm.HAMVEPollInterval
+	var idle simtime.Duration
+
+	for !s.Done() {
+		flag, err := card.Mem.HBM.ReadUint64(memA(lay.recvFlagAddr(next)))
+		if err != nil {
+			return err
+		}
+		n, ok := slots.Decode(flag, seq[next])
+		if !ok {
+			p := t.kctx.P
+			p.Sleep(interval)
+			idle += interval
+			if idle >= backoffAfter && interval < tm.HAMVEPollInterval*512 {
+				interval *= 2
+			}
+			continue
+		}
+		interval = tm.HAMVEPollInterval
+		idle = 0
+		seq[next]++
+
+		// Fetch the message from the local receive buffer.
+		msg := make([]byte, n)
+		if err := card.Mem.HBM.ReadAt(msg, memA(lay.recvBufAddr(next))); err != nil {
+			return err
+		}
+		t.kctx.P.Sleep(simtime.BytesOver(int64(n), tm.VEMemCopyRate) + tm.HAMVEOverhead)
+
+		endExec := tm.Recorder.Span(t.kctx.P, "ham", "veob-execute")
+		resp := s.Dispatch(msg)
+		endExec()
+		if err := t.respond(lay, next, flagSeqOf(flag), resp); err != nil {
+			return err
+		}
+		next = (next + 1) % lay.nbuf
+	}
+	return nil
+}
+
+func flagSeqOf(flag uint64) uint32 { return uint32(flag >> 24) }
+
+// respond writes the result message into the send slot paired with the
+// receive slot: inline payload adjacent to the flag, overflow into the
+// extra area, flag written last (the §III-D ordering).
+func (t *Target) respond(lay layout, slot int, seq uint32, resp []byte) error {
+	card := t.kctx.Context.Process().Card()
+	tm := card.Timing
+	if len(resp) > lay.bufSize+lay.resultInline {
+		resp = overflowError(len(resp))
+	}
+	inline := len(resp)
+	if inline > lay.resultInline {
+		inline = lay.resultInline
+	}
+	if err := card.Mem.HBM.WriteAt(resp[:inline], memA(lay.sendSlotAddr(slot)+slots.FlagBits)); err != nil {
+		return err
+	}
+	if len(resp) > inline {
+		if err := card.Mem.HBM.WriteAt(resp[inline:], memA(lay.sendExtraAddr(slot))); err != nil {
+			return err
+		}
+	}
+	t.kctx.P.Sleep(simtime.BytesOver(int64(len(resp)), tm.VEMemCopyRate))
+	return card.Mem.HBM.WriteUint64(memA(lay.sendSlotAddr(slot)), slots.Encode(seq, len(resp)))
+}
+
+// overflowError produces a failure response when a result exceeds the
+// protocol's buffer capacity.
+func overflowError(n int) []byte {
+	return ham.EncodeFailure(fmt.Sprintf("veob: result of %d bytes exceeds the send buffer", n))
+}
+
+// Memory implements core.Backend.
+func (t *Target) Memory() core.LocalMemory { return t.heap }
+
+// ChargeVector implements core.Backend using the VE roofline model.
+func (t *Target) ChargeVector(flops, bytes int64, cores int) {
+	t.kctx.ChargeVector(flops, bytes, cores)
+}
+
+// ChargeScalar implements core.Backend.
+func (t *Target) ChargeScalar(ops int64) {
+	t.kctx.ChargeScalar(ops)
+}
+
+// Close implements core.Backend.
+func (t *Target) Close() error { return nil }
+
+var _ core.Backend = (*Target)(nil)
+
+// SetTargetArch stores the architecture label the next ham_main on card will
+// use for its HAM binary. In a real deployment this is a property of the
+// compiled target binary; the host-side Connect records it after
+// ham_comm_init.
+func SetTargetArch(card *veos.Card, arch string) {
+	if st, ok := states[card]; ok {
+		st.arch = arch
+	}
+}

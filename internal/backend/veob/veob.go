@@ -1,0 +1,434 @@
+// Package veob implements the paper's VEO-based communication protocol
+// (§III-D, Fig. 5): a one-sided protocol coordinated by the Vector Host.
+// Message and result buffers live in VE memory; the host writes offload
+// messages and notification flags with veo_write_mem and polls result flags
+// with veo_read_mem, so every protocol step rides on VEOS' privileged DMA
+// with its high per-operation latency. The VE side finds messages in its
+// local memory, executes them, and leaves results in its local send buffers.
+//
+// One optimisation over the figure's literal four-transfer sequence is kept
+// from the paper's "piggybacking" remark: each result flag is adjacent to
+// its result buffer, so the host fetches flag and (small) result in a single
+// veo_read_mem. Results larger than the slot's inline capacity cost one
+// extra read.
+package veob
+
+import (
+	"fmt"
+
+	"hamoffload/internal/backend/adapter"
+	"hamoffload/internal/backend/slots"
+	"hamoffload/internal/core"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/veo"
+	"hamoffload/internal/veos"
+)
+
+// Options configures the protocol.
+type Options struct {
+	// NumBuffers is the number of message slots per direction (default 8).
+	NumBuffers int
+	// BufSize is the capacity of one message buffer (default 4 KiB).
+	BufSize int
+	// ResultInline is the result payload fetched together with the flag in
+	// one read (default 248, making flag+inline one 256-byte slot).
+	ResultInline int
+	// TargetArch labels the VE binary for HAM's translation tables
+	// (default "aurora-ve").
+	TargetArch string
+}
+
+func (o *Options) fill() {
+	if o.NumBuffers <= 0 {
+		o.NumBuffers = 8
+	}
+	if o.BufSize <= 0 {
+		o.BufSize = 4096
+	}
+	if o.ResultInline <= 0 {
+		o.ResultInline = 248
+	}
+	// SHM stores and flag adjacency work at word granularity.
+	o.ResultInline = (o.ResultInline + 7) &^ 7
+	if o.TargetArch == "" {
+		o.TargetArch = "aurora-ve"
+	}
+}
+
+// layout describes the communication area in VE memory.
+type layout struct {
+	nbuf         int
+	bufSize      int
+	resultInline int
+
+	base      uint64 // single veo_alloc_mem block
+	recvFlags uint64 // nbuf × 8
+	recvBufs  uint64 // nbuf × bufSize
+	sendSlots uint64 // nbuf × (8 + resultInline): flag adjacent to inline result
+	sendExtra uint64 // nbuf × bufSize overflow area for large results
+}
+
+func makeLayout(o Options, base uint64) layout {
+	l := layout{nbuf: o.NumBuffers, bufSize: o.BufSize, resultInline: o.ResultInline, base: base}
+	off := base
+	l.recvFlags = off
+	off += uint64(l.nbuf * slots.FlagBits)
+	l.recvBufs = off
+	off += uint64(l.nbuf * l.bufSize)
+	l.sendSlots = off
+	off += uint64(l.nbuf * (slots.FlagBits + l.resultInline))
+	l.sendExtra = off
+	return l
+}
+
+func (l layout) totalSize() int64 {
+	return int64(l.nbuf*slots.FlagBits + l.nbuf*l.bufSize +
+		l.nbuf*(slots.FlagBits+l.resultInline) + l.nbuf*l.bufSize)
+}
+
+func (l layout) recvFlagAddr(slot int) uint64 { return l.recvFlags + uint64(slot*slots.FlagBits) }
+func (l layout) recvBufAddr(slot int) uint64  { return l.recvBufs + uint64(slot*l.bufSize) }
+func (l layout) sendSlotAddr(slot int) uint64 {
+	return l.sendSlots + uint64(slot*(slots.FlagBits+l.resultInline))
+}
+func (l layout) sendExtraAddr(slot int) uint64 { return l.sendExtra + uint64(slot*l.bufSize) }
+
+// handle tracks one in-flight offload.
+type handle struct {
+	target core.NodeID
+	slot   int
+	seq    uint32
+	resp   []byte
+	done   bool
+}
+
+// conn is the host-side state for one VE target.
+type conn struct {
+	proc   *veo.Proc
+	card   *veos.Card
+	lay    layout
+	seq    []uint32  // next send sequence per slot
+	inUse  []*handle // outstanding offload per slot
+	next   int       // round-robin slot cursor
+	bounce uint64    // persistent host-side bounce buffer for flag writes
+}
+
+// Host is the initiator-side backend running on the Vector Host. All methods
+// must be called from the simulated process passed to Connect — HAM-Offload's
+// host runtime is single-threaded, like the C++ original's communication
+// layer.
+type Host struct {
+	p     *simtime.Proc
+	opts  Options
+	conns []*conn // index = NodeID-1
+	descs []core.NodeDescriptor
+	mem   core.LocalMemory
+}
+
+// Connect builds the complete Fig. 4 runtime setup for the given VE cards:
+// it creates a VE process on each card, loads the application library,
+// communicates the communication-area addresses through the HAM-Offload
+// C-API kernels, and starts ham_main. The returned backend serves node 0;
+// cards become nodes 1..len(cards).
+func Connect(p *simtime.Proc, cards []*veos.Card, opts Options) (*Host, error) {
+	opts.fill()
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("veob: no target cards")
+	}
+	h := &Host{p: p, opts: opts}
+	h.mem = &adapter.HostHeap{H: cards[0].Host}
+	h.descs = append(h.descs, core.NodeDescriptor{Name: "vh", Arch: "x86_64", Device: "Intel Xeon Gold 6126 (VH)"})
+	for i, card := range cards {
+		c, err := h.connect(card, i+1, len(cards)+1)
+		if err != nil {
+			return nil, err
+		}
+		h.conns = append(h.conns, c)
+		h.descs = append(h.descs, core.NodeDescriptor{
+			Name:   fmt.Sprintf("ve%d", card.ID),
+			Arch:   opts.TargetArch,
+			Device: "NEC VE Type 10B",
+		})
+	}
+	return h, nil
+}
+
+func (h *Host) connect(card *veos.Card, self, total int) (*conn, error) {
+	proc, err := veo.ProcCreate(h.p, card)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := proc.LoadLibrary(h.p, LibraryName)
+	if err != nil {
+		return nil, err
+	}
+	// Allocate the communication area in VE memory; the host manages it.
+	probe := makeLayout(h.opts, 0)
+	base, err := proc.AllocMem(h.p, probe.totalSize())
+	if err != nil {
+		return nil, err
+	}
+	lay := makeLayout(h.opts, base)
+
+	// Communicate the data-structure addresses through the C-API kernel
+	// (Fig. 4's "HAM-Offload C-API"), then start ham_main asynchronously.
+	ctx := proc.OpenContext(h.p)
+	commInit, err := lib.GetSym(h.p, "ham_comm_init")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ctx.CallAsync(h.p, commInit,
+		lay.base, uint64(lay.nbuf), uint64(lay.bufSize), uint64(lay.resultInline),
+		uint64(self), uint64(total),
+	).CallWaitResult(h.p); err != nil {
+		return nil, fmt.Errorf("veob: ham_comm_init: %w", err)
+	}
+	// The architecture label is a property of the target binary.
+	SetTargetArch(card, h.opts.TargetArch)
+	hamMain, err := lib.GetSym(h.p, "ham_main")
+	if err != nil {
+		return nil, err
+	}
+	// ham_main never returns until terminated; do not wait on it.
+	ctx.CallAsync(h.p, hamMain)
+
+	bounce, err := card.Host.Alloc(int64(h.opts.BufSize) + 16)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{
+		proc:   proc,
+		card:   card,
+		lay:    lay,
+		seq:    make([]uint32, lay.nbuf),
+		inUse:  make([]*handle, lay.nbuf),
+		bounce: uint64(bounce),
+	}, nil
+}
+
+// Self implements core.Backend.
+func (h *Host) Self() core.NodeID { return 0 }
+
+// NumNodes implements core.Backend.
+func (h *Host) NumNodes() int { return len(h.conns) + 1 }
+
+// Descriptor implements core.Backend.
+func (h *Host) Descriptor(n core.NodeID) core.NodeDescriptor {
+	if int(n) < 0 || int(n) >= len(h.descs) {
+		return core.NodeDescriptor{Name: "invalid"}
+	}
+	return h.descs[n]
+}
+
+func (h *Host) conn(target core.NodeID) (*conn, error) {
+	i := int(target) - 1
+	if i < 0 || i >= len(h.conns) {
+		return nil, fmt.Errorf("veob: no target node %d", target)
+	}
+	return h.conns[i], nil
+}
+
+// Call implements core.Backend: write the message into the next free
+// receive buffer on the VE, then set its notification flag — two
+// veo_write_mem operations, exactly the Fig. 5 sequence.
+func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
+	c, err := h.conn(target)
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) > c.lay.bufSize || len(msg) > slots.MaxLen {
+		return nil, fmt.Errorf("veob: message of %d bytes exceeds buffer size %d", len(msg), c.lay.bufSize)
+	}
+	defer h.timing(c).Recorder.Span(h.p, "ham", "veob-call")()
+	h.p.Sleep(h.timing(c).HAMHostOverhead)
+	slot := c.next
+	c.next = (c.next + 1) % c.lay.nbuf
+	// The host manages the buffers: a slot is free again once the result of
+	// its previous use has been consumed.
+	if prev := c.inUse[slot]; prev != nil {
+		if _, err := h.waitHandle(prev); err != nil {
+			return nil, fmt.Errorf("veob: draining slot %d: %w", slot, err)
+		}
+	}
+	seq := c.seq[slot]
+	c.seq[slot]++
+
+	// Stage the message in host memory and write it into the VE buffer.
+	if err := c.card.Host.Mem.WriteAt(msg, memA(c.bounce)); err != nil {
+		return nil, err
+	}
+	if err := c.proc.WriteMem(h.p, c.lay.recvBufAddr(slot), c.bounce, int64(len(msg))); err != nil {
+		return nil, err
+	}
+	// Set the notification flag (second veo_write_mem).
+	if err := c.card.Host.Mem.WriteUint64(memA(c.bounce), slots.Encode(seq, len(msg))); err != nil {
+		return nil, err
+	}
+	if err := c.proc.WriteMem(h.p, c.lay.recvFlagAddr(slot), c.bounce, slots.FlagBits); err != nil {
+		return nil, err
+	}
+	hd := &handle{target: target, slot: slot, seq: seq}
+	c.inUse[slot] = hd
+	return hd, nil
+}
+
+// pollSlot performs one flag+inline-result read and, if the result is
+// present, completes the handle.
+func (h *Host) pollSlot(c *conn, hd *handle) (bool, error) {
+	readLen := int64(slots.FlagBits + c.lay.resultInline)
+	if err := c.proc.ReadMem(h.p, c.bounce, c.lay.sendSlotAddr(hd.slot), readLen); err != nil {
+		return false, err
+	}
+	flag, err := c.card.Host.Mem.ReadUint64(memA(c.bounce))
+	if err != nil {
+		return false, err
+	}
+	n, ok := slots.Decode(flag, hd.seq)
+	if !ok {
+		return false, nil
+	}
+	resp := make([]byte, n)
+	inline := n
+	if inline > c.lay.resultInline {
+		inline = c.lay.resultInline
+	}
+	if err := c.card.Host.Mem.ReadAt(resp[:inline], memA(c.bounce+slots.FlagBits)); err != nil {
+		return false, err
+	}
+	if n > inline {
+		// Large result: fetch the overflow with a second read.
+		if err := c.proc.ReadMem(h.p, c.bounce, c.lay.sendExtraAddr(hd.slot), int64(n-inline)); err != nil {
+			return false, err
+		}
+		if err := c.card.Host.Mem.ReadAt(resp[inline:], memA(c.bounce)); err != nil {
+			return false, err
+		}
+	}
+	hd.resp = resp
+	hd.done = true
+	if c.inUse[hd.slot] == hd {
+		c.inUse[hd.slot] = nil
+	}
+	return true, nil
+}
+
+func (h *Host) waitHandle(hd *handle) ([]byte, error) {
+	c, err := h.conn(hd.target)
+	if err != nil {
+		return nil, err
+	}
+	defer h.timing(c).Recorder.Span(h.p, "ham", "veob-wait")()
+	for !hd.done {
+		// Each poll is a full veo_read_mem; no extra backoff is needed, the
+		// privileged-DMA latency is the poll interval.
+		if _, err := h.pollSlot(c, hd); err != nil {
+			return nil, err
+		}
+	}
+	h.p.Sleep(h.timing(c).HAMHostOverhead)
+	return hd.resp, nil
+}
+
+// Wait implements core.Backend.
+func (h *Host) Wait(hh core.Handle) ([]byte, error) {
+	hd, ok := hh.(*handle)
+	if !ok {
+		return nil, fmt.Errorf("veob: foreign handle %T", hh)
+	}
+	return h.waitHandle(hd)
+}
+
+// Poll implements core.Backend.
+func (h *Host) Poll(hh core.Handle) ([]byte, bool, error) {
+	hd, ok := hh.(*handle)
+	if !ok {
+		return nil, false, fmt.Errorf("veob: foreign handle %T", hh)
+	}
+	if hd.done {
+		return hd.resp, true, nil
+	}
+	c, err := h.conn(hd.target)
+	if err != nil {
+		return nil, false, err
+	}
+	done, err := h.pollSlot(c, hd)
+	if err != nil {
+		return nil, false, err
+	}
+	if !done {
+		return nil, false, nil
+	}
+	return hd.resp, true, nil
+}
+
+// Put implements core.Backend: an explicit data transfer via veo_write_mem,
+// staged through a host bounce buffer (an artifact of the Go API taking
+// slices; the staging copy is not charged as it does not exist on the real
+// platform, where user data already lives in host memory).
+func (h *Host) Put(target core.NodeID, data []byte, dstAddr uint64) error {
+	c, err := h.conn(target)
+	if err != nil {
+		return err
+	}
+	stage, err := c.card.Host.Alloc(int64(len(data)))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.card.Host.Free(stage) }()
+	if err := c.card.Host.Mem.WriteAt(data, stage); err != nil {
+		return err
+	}
+	return c.proc.WriteMem(h.p, dstAddr, uint64(stage), int64(len(data)))
+}
+
+// Get implements core.Backend via veo_read_mem.
+func (h *Host) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
+	c, err := h.conn(target)
+	if err != nil {
+		return err
+	}
+	stage, err := c.card.Host.Alloc(int64(len(dst)))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.card.Host.Free(stage) }()
+	if err := c.proc.ReadMem(h.p, uint64(stage), srcAddr, int64(len(dst))); err != nil {
+		return err
+	}
+	return c.card.Host.Mem.ReadAt(dst, stage)
+}
+
+// Serve implements core.Backend; the host node does not serve messages in
+// this backend (no reverse offloading over VEO).
+func (h *Host) Serve(core.Server) error {
+	return fmt.Errorf("veob: the host node does not serve active messages")
+}
+
+// Memory implements core.Backend.
+func (h *Host) Memory() core.LocalMemory { return h.mem }
+
+// ChargeVector implements core.Backend: host-side kernel work advances the
+// host process's simulated clock with the host roofline model.
+func (h *Host) ChargeVector(flops, bytes int64, cores int) {
+	h.p.Sleep(hostModel.VectorTime(flops, bytes, cores))
+}
+
+// ChargeScalar implements core.Backend.
+func (h *Host) ChargeScalar(ops int64) {
+	h.p.Sleep(simtime.Duration(float64(ops) / (2.6e9) * float64(simtime.Second)))
+}
+
+// Close implements core.Backend: destroy the VE processes.
+func (h *Host) Close() error {
+	var firstErr error
+	for _, c := range h.conns {
+		if err := c.proc.Destroy(h.p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (h *Host) timing(c *conn) topoTiming { return c.card.Timing }
+
+var _ core.Backend = (*Host)(nil)

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hamoffload/internal/ham"
+)
+
+// Elem constrains buffer element types to fixed-size scalars, whose byte
+// representation is identical on the VH and the VE.
+type Elem interface {
+	~int8 | ~int16 | ~int32 | ~int64 |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// BufferPtr points to target memory of element type T; the node address is
+// part of the pointer (Table II's buffer_ptr<T>). The zero value is a null
+// pointer.
+type BufferPtr[T Elem] struct {
+	Node  NodeID
+	Addr  uint64
+	Count int64 // number of elements
+}
+
+// IsNil reports whether the pointer is null.
+func (b BufferPtr[T]) IsNil() bool { return b.Addr == 0 }
+
+// ByteSize returns the buffer size in bytes.
+func (b BufferPtr[T]) ByteSize() int64 { return b.Count * sizeOf[T]() }
+
+// Offset returns a pointer advanced by n elements; bounds-checked against
+// the allocation's element count.
+func (b BufferPtr[T]) Offset(n int64) (BufferPtr[T], error) {
+	if n < 0 || n > b.Count {
+		return BufferPtr[T]{}, fmt.Errorf("core: offset %d outside buffer of %d elements", n, b.Count)
+	}
+	return BufferPtr[T]{Node: b.Node, Addr: b.Addr + uint64(n*sizeOf[T]()), Count: b.Count - n}, nil
+}
+
+// EncodeHAM implements Marshaler, making buffer pointers offloadable as
+// function arguments.
+func (b *BufferPtr[T]) EncodeHAM(e *ham.Encoder) {
+	e.PutI64(int64(b.Node))
+	e.PutU64(b.Addr)
+	e.PutI64(b.Count)
+}
+
+// DecodeHAM implements Marshaler.
+func (b *BufferPtr[T]) DecodeHAM(d *ham.Decoder) {
+	b.Node = NodeID(d.I64())
+	b.Addr = d.U64()
+	b.Count = d.I64()
+}
+
+// sizeOf returns the wire size of one element of T.
+func sizeOf[T Elem]() int64 {
+	var zero T
+	return int64(binary.Size(zero))
+}
+
+// Allocate reserves count elements of type T on target memory (Table II's
+// allocate). Like in the C++ runtime, allocation is itself an active message
+// executed by the target.
+func Allocate[T Elem](rt *Runtime, node NodeID, count int64) (BufferPtr[T], error) {
+	if count <= 0 {
+		return BufferPtr[T]{}, fmt.Errorf("core: allocate of %d elements", count)
+	}
+	dec, err := rt.callSync(node, msgAlloc, func(e *ham.Encoder) {
+		e.PutI64(count * sizeOf[T]())
+	})
+	if err != nil {
+		return BufferPtr[T]{}, err
+	}
+	addr := dec.U64()
+	if err := dec.Err(); err != nil {
+		return BufferPtr[T]{}, err
+	}
+	return BufferPtr[T]{Node: node, Addr: addr, Count: count}, nil
+}
+
+// Free releases target memory allocated with Allocate (Table II's free).
+func Free[T Elem](rt *Runtime, b BufferPtr[T]) error {
+	if b.IsNil() {
+		return nil
+	}
+	_, err := rt.callSync(b.Node, msgFree, func(e *ham.Encoder) {
+		e.PutU64(b.Addr)
+	})
+	return err
+}
+
+// elemsToBytes serialises a slice of elements little-endian.
+func elemsToBytes[T Elem](src []T) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(src) * int(sizeOf[T]()))
+	if err := binary.Write(&buf, binary.LittleEndian, src); err != nil {
+		return nil, fmt.Errorf("core: encoding %T: %w", src, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// bytesToElems deserialises little-endian bytes into dst.
+func bytesToElems[T Elem](data []byte, dst []T) error {
+	if err := binary.Read(bytes.NewReader(data), binary.LittleEndian, dst); err != nil {
+		return fmt.Errorf("core: decoding %T: %w", dst, err)
+	}
+	return nil
+}
+
+// Put writes src into target memory at dst (Table II's put). It fails if
+// src exceeds the buffer.
+func Put[T Elem](rt *Runtime, src []T, dst BufferPtr[T]) error {
+	if int64(len(src)) > dst.Count {
+		return fmt.Errorf("core: put of %d elements into buffer of %d", len(src), dst.Count)
+	}
+	if len(src) == 0 {
+		return nil
+	}
+	data, err := elemsToBytes(src)
+	if err != nil {
+		return err
+	}
+	return rt.backend.Put(dst.Node, data, dst.Addr)
+}
+
+// Get reads len(dst) elements from target memory at src (Table II's get).
+func Get[T Elem](rt *Runtime, src BufferPtr[T], dst []T) error {
+	if int64(len(dst)) > src.Count {
+		return fmt.Errorf("core: get of %d elements from buffer of %d", len(dst), src.Count)
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	raw := make([]byte, int64(len(dst))*sizeOf[T]())
+	if err := rt.backend.Get(src.Node, src.Addr, raw); err != nil {
+		return err
+	}
+	return bytesToElems(raw, dst)
+}
+
+// PutAsync is the asynchronous variant of Put (Table II's future<void>
+// put). All current backends complete the transfer before returning —
+// matching the eager completion of the original's TCP and SCIF backends —
+// so the returned future is immediately ready; it exists for API
+// compatibility and forward evolution.
+func PutAsync[T Elem](rt *Runtime, src []T, dst BufferPtr[T]) *Future[Unit] {
+	return completedFuture(Unit{}, Put(rt, src, dst))
+}
+
+// GetAsync is the asynchronous variant of Get (Table II's future<void> get);
+// see PutAsync for the completion semantics.
+func GetAsync[T Elem](rt *Runtime, src BufferPtr[T], dst []T) *Future[Unit] {
+	return completedFuture(Unit{}, Get(rt, src, dst))
+}
+
+// Copy performs a direct copy between buffers on two offload targets,
+// orchestrated by the calling node (Table II's copy): the data is staged
+// through the orchestrator, as the VEO-era SX-Aurora platform offers no
+// VE-to-VE path.
+func Copy[T Elem](rt *Runtime, src, dst BufferPtr[T], count int64) error {
+	if count > src.Count || count > dst.Count {
+		return fmt.Errorf("core: copy of %d elements exceeds buffers (%d src, %d dst)",
+			count, src.Count, dst.Count)
+	}
+	if count <= 0 {
+		return nil
+	}
+	staging := make([]byte, count*sizeOf[T]())
+	if err := rt.backend.Get(src.Node, src.Addr, staging); err != nil {
+		return err
+	}
+	return rt.backend.Put(dst.Node, staging, dst.Addr)
+}

@@ -1,0 +1,200 @@
+// Package core implements the HAM-Offload runtime — the paper's primary
+// contribution, ported from C++ to Go. It provides the programming model of
+// Table II (nodes, buffer pointers, futures, synchronous and asynchronous
+// offloads, explicit data transfers) on top of Heterogeneous Active Messages
+// (internal/ham) and an exchangeable communication backend (internal/backend/...),
+// mirroring the layer architecture of Fig. 1.
+package core
+
+import (
+	"fmt"
+
+	"hamoffload/internal/ham"
+)
+
+// NodeID addresses one process of a HAM-Offload application. Node 0 is the
+// host by convention; offload targets follow.
+type NodeID int
+
+// HostNode is the conventional host rank.
+const HostNode NodeID = 0
+
+// NodeDescriptor carries static information about a node (Table II's
+// node_descriptor).
+type NodeDescriptor struct {
+	Name   string // e.g. "vh" or "ve0"
+	Arch   string // e.g. "x86_64" or "aurora-ve"
+	Device string // free-form device description
+}
+
+// Handle identifies an in-flight offload at the backend level.
+type Handle interface{}
+
+// LocalMemory is the target-local memory a node's built-in allocate/free
+// handlers and kernel buffer accessors operate on.
+type LocalMemory interface {
+	// Alloc reserves n bytes and returns the buffer address.
+	Alloc(n int64) (uint64, error)
+	// Free releases an allocation made with Alloc.
+	Free(addr uint64) error
+	// Read copies len(p) bytes from addr into p.
+	Read(addr uint64, p []byte) error
+	// Write copies data to addr.
+	Write(addr uint64, data []byte) error
+}
+
+// Backend is the abstract communication layer of Fig. 1. One Backend value
+// serves one node: initiator-side methods are used where offloads originate,
+// Serve runs the message loop where they execute. The paper's two SX-Aurora
+// protocols (backend/veob, backend/dmab), the portable TCP/IP backend
+// (backend/tcpb) and the in-process loopback (backend/locb) all implement it.
+type Backend interface {
+	// Self returns this node's id.
+	Self() NodeID
+	// NumNodes returns the number of nodes in the application.
+	NumNodes() int
+	// Descriptor describes a node.
+	Descriptor(n NodeID) NodeDescriptor
+
+	// Call posts an active message to the target node and returns a handle
+	// for result retrieval.
+	Call(target NodeID, msg []byte) (Handle, error)
+	// Wait blocks until the response for h arrives and returns it.
+	Wait(h Handle) ([]byte, error)
+	// Poll checks for the response without blocking.
+	Poll(h Handle) (resp []byte, done bool, err error)
+
+	// Put writes data into target memory at dstAddr (Table II's put).
+	Put(target NodeID, data []byte, dstAddr uint64) error
+	// Get reads len(dst) bytes from target memory at srcAddr (Table II's get).
+	Get(target NodeID, srcAddr uint64, dst []byte) error
+
+	// Serve runs the target-side message loop: receive, dispatch, respond,
+	// until the server reports Done (a terminate message executed).
+	Serve(s Server) error
+
+	// Memory returns this node's local memory.
+	Memory() LocalMemory
+
+	// ChargeVector and ChargeScalar advance this node's notion of compute
+	// time for kernel work (roofline model on simulated VEs, no-ops on
+	// wall-clock nodes, where the Go computation itself takes the time).
+	ChargeVector(flops, bytes int64, cores int)
+	ChargeScalar(ops int64)
+
+	// Close releases backend resources on the initiator side.
+	Close() error
+}
+
+// Server is what a Backend's Serve loop drives; the Runtime implements it.
+type Server interface {
+	// Dispatch executes one wire message and returns the wire response.
+	Dispatch(msg []byte) []byte
+	// Done reports whether a terminate message has been executed.
+	Done() bool
+}
+
+// Runtime is one node's HAM-Offload runtime instance.
+type Runtime struct {
+	backend Backend
+	bin     *ham.Binary
+
+	terminated bool
+	offloads   int64 // initiated offloads, for stats
+	executed   int64 // executed messages, for stats
+}
+
+// NewRuntime creates the runtime for one node. arch labels this node's
+// "binary" for the heterogeneous address-translation tables; the host and
+// target of one application must use different arch strings to model the
+// differing code layouts, and all message/function registration must happen
+// before the first NewRuntime of the application.
+func NewRuntime(b Backend, arch string) *Runtime {
+	return &Runtime{backend: b, bin: ham.NewBinary(arch)}
+}
+
+// Backend returns the node's communication backend.
+func (rt *Runtime) Backend() Backend { return rt.backend }
+
+// Binary returns the node's HAM binary (message table).
+func (rt *Runtime) Binary() *ham.Binary { return rt.bin }
+
+// ThisNode returns this process's address (Table II's this_node).
+func (rt *Runtime) ThisNode() NodeID { return rt.backend.Self() }
+
+// NumNodes returns the process count (Table II's num_nodes).
+func (rt *Runtime) NumNodes() int { return rt.backend.NumNodes() }
+
+// GetNodeDescriptor returns a node's descriptor (Table II).
+func (rt *Runtime) GetNodeDescriptor(n NodeID) NodeDescriptor {
+	return rt.backend.Descriptor(n)
+}
+
+// Offloads returns how many offloads this runtime has initiated.
+func (rt *Runtime) Offloads() int64 { return rt.offloads }
+
+// Executed returns how many messages this runtime has executed.
+func (rt *Runtime) Executed() int64 { return rt.executed }
+
+// Dispatch implements Server: it executes one incoming active message
+// against this runtime.
+func (rt *Runtime) Dispatch(msg []byte) []byte {
+	rt.executed++
+	return rt.bin.Dispatch(rt, msg)
+}
+
+// Done implements Server.
+func (rt *Runtime) Done() bool { return rt.terminated }
+
+// Serve runs this node's message-processing loop until terminated — the
+// body of ham_main on an offload target (§III-C).
+func (rt *Runtime) Serve() error {
+	return rt.backend.Serve(rt)
+}
+
+// callAsync posts the named message with the given payload.
+func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder)) (Handle, error) {
+	if node == rt.ThisNode() {
+		return nil, fmt.Errorf("core: offload to self (node %d) is not supported", node)
+	}
+	if int(node) < 0 || int(node) >= rt.NumNodes() {
+		return nil, fmt.Errorf("core: no node %d in this application (%d nodes)", node, rt.NumNodes())
+	}
+	msg, err := rt.bin.EncodeRequest(name, payload)
+	if err != nil {
+		return nil, err
+	}
+	rt.offloads++
+	return rt.backend.Call(node, msg)
+}
+
+// callSync posts the message and waits for its response payload.
+func (rt *Runtime) callSync(node NodeID, name string, payload func(*ham.Encoder)) (*ham.Decoder, error) {
+	h, err := rt.callAsync(node, name, payload)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.backend.Wait(h)
+	if err != nil {
+		return nil, err
+	}
+	return ham.DecodeResponse(resp)
+}
+
+// Finalize sends terminate messages to all other nodes and closes the
+// backend. Call it on the host once the application is done.
+func (rt *Runtime) Finalize() error {
+	var firstErr error
+	for n := 0; n < rt.NumNodes(); n++ {
+		if NodeID(n) == rt.ThisNode() {
+			continue
+		}
+		if _, err := rt.callSync(NodeID(n), msgTerminate, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: terminating node %d: %w", n, err)
+		}
+	}
+	if err := rt.backend.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+
+	"hamoffload/internal/ham"
+)
+
+// This file is the Go analog of HAM's f2f() machinery (§III-E, Fig. 6): in
+// C++, every (function, argument-types) combination instantiates a message
+// type with generated serialisation and a handler; here, NewFuncN performs
+// the same instantiation through generics and registers the handler under
+// the function's name. Binding arguments yields a Functor that an offload
+// transfers and the target executes.
+
+// Marshaler lets composite argument types (like BufferPtr) define their own
+// wire format. Implement it with pointer receivers.
+type Marshaler interface {
+	EncodeHAM(*ham.Encoder)
+	DecodeHAM(*ham.Decoder)
+}
+
+// valCodec encodes/decodes one argument or result type.
+type valCodec[T any] struct {
+	enc func(*ham.Encoder, T)
+	dec func(*ham.Decoder) T
+}
+
+// codecFor resolves the codec for T: Marshaler implementations first, then
+// the built-in scalar/slice types. Unsupported types panic at registration
+// time — the moment the C++ original would fail to compile.
+func codecFor[T any]() valCodec[T] {
+	var zero T
+	if _, ok := any(&zero).(Marshaler); ok {
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { any(&v).(Marshaler).EncodeHAM(e) },
+			dec: func(d *ham.Decoder) T {
+				var v T
+				any(&v).(Marshaler).DecodeHAM(d)
+				return v
+			},
+		}
+	}
+	switch any(zero).(type) {
+	case Unit:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) {},
+			dec: func(d *ham.Decoder) T { var v T; return v },
+		}
+	case bool:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutBool(any(v).(bool)) },
+			dec: func(d *ham.Decoder) T { return any(d.Bool()).(T) },
+		}
+	case int:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutI64(int64(any(v).(int))) },
+			dec: func(d *ham.Decoder) T { return any(int(d.I64())).(T) },
+		}
+	case int32:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutU32(uint32(any(v).(int32))) },
+			dec: func(d *ham.Decoder) T { return any(int32(d.U32())).(T) },
+		}
+	case int64:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutI64(any(v).(int64)) },
+			dec: func(d *ham.Decoder) T { return any(d.I64()).(T) },
+		}
+	case uint32:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutU32(any(v).(uint32)) },
+			dec: func(d *ham.Decoder) T { return any(d.U32()).(T) },
+		}
+	case uint64:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutU64(any(v).(uint64)) },
+			dec: func(d *ham.Decoder) T { return any(d.U64()).(T) },
+		}
+	case float32:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutF32(any(v).(float32)) },
+			dec: func(d *ham.Decoder) T { return any(d.F32()).(T) },
+		}
+	case float64:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutF64(any(v).(float64)) },
+			dec: func(d *ham.Decoder) T { return any(d.F64()).(T) },
+		}
+	case string:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutString(any(v).(string)) },
+			dec: func(d *ham.Decoder) T { return any(d.String()).(T) },
+		}
+	case []byte:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutBytes(any(v).([]byte)) },
+			dec: func(d *ham.Decoder) T { return any(d.Bytes()).(T) },
+		}
+	case []float64:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutF64s(any(v).([]float64)) },
+			dec: func(d *ham.Decoder) T { return any(d.F64s()).(T) },
+		}
+	case []int64:
+		return valCodec[T]{
+			enc: func(e *ham.Encoder, v T) { e.PutI64s(any(v).([]int64)) },
+			dec: func(d *ham.Decoder) T { return any(d.I64s()).(T) },
+		}
+	default:
+		panic(fmt.Sprintf("core: no HAM codec for type %T; implement core.Marshaler", zero))
+	}
+}
+
+// Unit is the result type of offloaded functions that return nothing.
+type Unit struct{}
+
+// Functor is a function with bound arguments, ready to offload — the result
+// of the C++ f2f() call.
+type Functor[R any] struct {
+	name    string
+	payload func(*ham.Encoder)
+	decode  func(*ham.Decoder) (R, error)
+}
+
+// Name returns the registered function name the functor offloads.
+func (f Functor[R]) Name() string { return f.name }
+
+// Async performs an asynchronous offload of fn to node, returning a future
+// (Table II's async).
+func Async[R any](rt *Runtime, node NodeID, fn Functor[R]) *Future[R] {
+	h, err := rt.callAsync(node, fn.name, fn.payload)
+	if err != nil {
+		f := &Future[R]{rt: rt}
+		f.fail(err)
+		return f
+	}
+	return newFuture(rt, h, fn.decode)
+}
+
+// Sync performs a synchronous offload of fn to node (Table II's sync).
+func Sync[R any](rt *Runtime, node NodeID, fn Functor[R]) (R, error) {
+	return Async(rt, node, fn).Get()
+}
+
+func resultDecoder[R any](rc valCodec[R]) func(*ham.Decoder) (R, error) {
+	return func(d *ham.Decoder) (R, error) {
+		v := rc.dec(d)
+		return v, d.Err()
+	}
+}
+
+// fnName namespaces user functions in the message table.
+func fnName(name string) string { return "fn:" + name }
+
+// Func0 is a registered offloadable function with no arguments.
+type Func0[R any] struct {
+	name string
+	rc   valCodec[R]
+}
+
+// NewFunc0 registers impl as an offloadable function. Registration must
+// happen before the application's runtimes are created — package init
+// functions are the natural place, mirroring C++ static initialisation.
+func NewFunc0[R any](name string, impl func(*Ctx) (R, error)) Func0[R] {
+	rc := codecFor[R]()
+	ham.RegisterHandler(fnName(name), func(env any, dec *ham.Decoder, enc *ham.Encoder) error {
+		r, err := impl(ctxOf(env))
+		if err != nil {
+			return err
+		}
+		rc.enc(enc, r)
+		return nil
+	})
+	return Func0[R]{name: fnName(name), rc: rc}
+}
+
+// Bind produces the offloadable functor.
+func (f Func0[R]) Bind() Functor[R] {
+	return Functor[R]{name: f.name, payload: func(*ham.Encoder) {}, decode: resultDecoder(f.rc)}
+}
+
+// Func1 is a registered offloadable function with one argument.
+type Func1[R, A1 any] struct {
+	name string
+	rc   valCodec[R]
+	a1   valCodec[A1]
+}
+
+// NewFunc1 registers impl as an offloadable one-argument function.
+func NewFunc1[R, A1 any](name string, impl func(*Ctx, A1) (R, error)) Func1[R, A1] {
+	rc, a1 := codecFor[R](), codecFor[A1]()
+	ham.RegisterHandler(fnName(name), func(env any, dec *ham.Decoder, enc *ham.Encoder) error {
+		v1 := a1.dec(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		r, err := impl(ctxOf(env), v1)
+		if err != nil {
+			return err
+		}
+		rc.enc(enc, r)
+		return nil
+	})
+	return Func1[R, A1]{name: fnName(name), rc: rc, a1: a1}
+}
+
+// Bind binds the argument, producing the offloadable functor.
+func (f Func1[R, A1]) Bind(v1 A1) Functor[R] {
+	return Functor[R]{
+		name:    f.name,
+		payload: func(e *ham.Encoder) { f.a1.enc(e, v1) },
+		decode:  resultDecoder(f.rc),
+	}
+}
+
+// Func2 is a registered offloadable function with two arguments.
+type Func2[R, A1, A2 any] struct {
+	name string
+	rc   valCodec[R]
+	a1   valCodec[A1]
+	a2   valCodec[A2]
+}
+
+// NewFunc2 registers impl as an offloadable two-argument function.
+func NewFunc2[R, A1, A2 any](name string, impl func(*Ctx, A1, A2) (R, error)) Func2[R, A1, A2] {
+	rc, a1, a2 := codecFor[R](), codecFor[A1](), codecFor[A2]()
+	ham.RegisterHandler(fnName(name), func(env any, dec *ham.Decoder, enc *ham.Encoder) error {
+		v1 := a1.dec(dec)
+		v2 := a2.dec(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		r, err := impl(ctxOf(env), v1, v2)
+		if err != nil {
+			return err
+		}
+		rc.enc(enc, r)
+		return nil
+	})
+	return Func2[R, A1, A2]{name: fnName(name), rc: rc, a1: a1, a2: a2}
+}
+
+// Bind binds the arguments, producing the offloadable functor.
+func (f Func2[R, A1, A2]) Bind(v1 A1, v2 A2) Functor[R] {
+	return Functor[R]{
+		name: f.name,
+		payload: func(e *ham.Encoder) {
+			f.a1.enc(e, v1)
+			f.a2.enc(e, v2)
+		},
+		decode: resultDecoder(f.rc),
+	}
+}
+
+// Func3 is a registered offloadable function with three arguments.
+type Func3[R, A1, A2, A3 any] struct {
+	name string
+	rc   valCodec[R]
+	a1   valCodec[A1]
+	a2   valCodec[A2]
+	a3   valCodec[A3]
+}
+
+// NewFunc3 registers impl as an offloadable three-argument function.
+func NewFunc3[R, A1, A2, A3 any](name string, impl func(*Ctx, A1, A2, A3) (R, error)) Func3[R, A1, A2, A3] {
+	rc, a1, a2, a3 := codecFor[R](), codecFor[A1](), codecFor[A2](), codecFor[A3]()
+	ham.RegisterHandler(fnName(name), func(env any, dec *ham.Decoder, enc *ham.Encoder) error {
+		v1 := a1.dec(dec)
+		v2 := a2.dec(dec)
+		v3 := a3.dec(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		r, err := impl(ctxOf(env), v1, v2, v3)
+		if err != nil {
+			return err
+		}
+		rc.enc(enc, r)
+		return nil
+	})
+	return Func3[R, A1, A2, A3]{name: fnName(name), rc: rc, a1: a1, a2: a2, a3: a3}
+}
+
+// Bind binds the arguments, producing the offloadable functor.
+func (f Func3[R, A1, A2, A3]) Bind(v1 A1, v2 A2, v3 A3) Functor[R] {
+	return Functor[R]{
+		name: f.name,
+		payload: func(e *ham.Encoder) {
+			f.a1.enc(e, v1)
+			f.a2.enc(e, v2)
+			f.a3.enc(e, v3)
+		},
+		decode: resultDecoder(f.rc),
+	}
+}
+
+// Func4 is a registered offloadable function with four arguments.
+type Func4[R, A1, A2, A3, A4 any] struct {
+	name string
+	rc   valCodec[R]
+	a1   valCodec[A1]
+	a2   valCodec[A2]
+	a3   valCodec[A3]
+	a4   valCodec[A4]
+}
+
+// NewFunc4 registers impl as an offloadable four-argument function.
+func NewFunc4[R, A1, A2, A3, A4 any](name string, impl func(*Ctx, A1, A2, A3, A4) (R, error)) Func4[R, A1, A2, A3, A4] {
+	rc, a1, a2, a3, a4 := codecFor[R](), codecFor[A1](), codecFor[A2](), codecFor[A3](), codecFor[A4]()
+	ham.RegisterHandler(fnName(name), func(env any, dec *ham.Decoder, enc *ham.Encoder) error {
+		v1 := a1.dec(dec)
+		v2 := a2.dec(dec)
+		v3 := a3.dec(dec)
+		v4 := a4.dec(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		r, err := impl(ctxOf(env), v1, v2, v3, v4)
+		if err != nil {
+			return err
+		}
+		rc.enc(enc, r)
+		return nil
+	})
+	return Func4[R, A1, A2, A3, A4]{name: fnName(name), rc: rc, a1: a1, a2: a2, a3: a3, a4: a4}
+}
+
+// Bind binds the arguments, producing the offloadable functor.
+func (f Func4[R, A1, A2, A3, A4]) Bind(v1 A1, v2 A2, v3 A3, v4 A4) Functor[R] {
+	return Functor[R]{
+		name: f.name,
+		payload: func(e *ham.Encoder) {
+			f.a1.enc(e, v1)
+			f.a2.enc(e, v2)
+			f.a3.enc(e, v3)
+			f.a4.enc(e, v4)
+		},
+		decode: resultDecoder(f.rc),
+	}
+}
+
+// AsyncAll offloads one functor to each listed node and returns the futures
+// in node order — the fan-out idiom of multi-VE applications (Table II's
+// async, vectorised over targets).
+func AsyncAll[R any](rt *Runtime, nodes []NodeID, fn Functor[R]) []*Future[R] {
+	futs := make([]*Future[R], len(nodes))
+	for i, n := range nodes {
+		futs[i] = Async(rt, n, fn)
+	}
+	return futs
+}
+
+// GetAll collects every future, returning the results in order and the
+// first error encountered (after draining all futures, so no offload is
+// left dangling).
+func GetAll[R any](futs []*Future[R]) ([]R, error) {
+	out := make([]R, len(futs))
+	var firstErr error
+	for i, f := range futs {
+		v, err := f.Get()
+		out[i] = v
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}

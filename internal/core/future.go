@@ -1,0 +1,82 @@
+package core
+
+import "hamoffload/internal/ham"
+
+// Future is the lazy synchronisation object returned by asynchronous
+// offloads (Table II's future<T>): Test polls without blocking, Get blocks
+// until the result message arrived and decodes it.
+type Future[T any] struct {
+	rt     *Runtime
+	h      Handle
+	decode func(*ham.Decoder) (T, error)
+
+	done bool
+	val  T
+	err  error
+}
+
+// Test reports whether the result is available, without blocking.
+func (f *Future[T]) Test() bool {
+	if f.done {
+		return true
+	}
+	resp, ok, err := f.rt.backend.Poll(f.h)
+	if err != nil {
+		f.fail(err)
+		return true
+	}
+	if !ok {
+		return false
+	}
+	f.settle(resp)
+	return true
+}
+
+// Get blocks until the offload completed and returns its result.
+func (f *Future[T]) Get() (T, error) {
+	if f.done {
+		return f.val, f.err
+	}
+	resp, err := f.rt.backend.Wait(f.h)
+	if err != nil {
+		f.fail(err)
+		return f.val, f.err
+	}
+	f.settle(resp)
+	return f.val, f.err
+}
+
+// MustGet is Get for cases where a remote failure is a programming error.
+func (f *Future[T]) MustGet() T {
+	v, err := f.Get()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func (f *Future[T]) fail(err error) {
+	f.done = true
+	f.err = err
+}
+
+func (f *Future[T]) settle(resp []byte) {
+	f.done = true
+	dec, err := ham.DecodeResponse(resp)
+	if err != nil {
+		f.err = err
+		return
+	}
+	f.val, f.err = f.decode(dec)
+}
+
+// newFuture wires a backend handle to a result decoder.
+func newFuture[T any](rt *Runtime, h Handle, decode func(*ham.Decoder) (T, error)) *Future[T] {
+	return &Future[T]{rt: rt, h: h, decode: decode}
+}
+
+// completedFuture wraps an already-finished operation, for the data-transfer
+// variants whose backends complete eagerly.
+func completedFuture[T any](val T, err error) *Future[T] {
+	return &Future[T]{done: true, val: val, err: err}
+}

@@ -1,0 +1,318 @@
+// Package dma models the three data-movement engines of the SX-Aurora
+// platform (paper §I-B, §IV-A):
+//
+//   - the privileged (system) DMA engine, shared by all cores of one VE and
+//     driven by the VEOS DMA manager, which must translate VH virtual
+//     addresses to physical on the fly (naively per page, or in bulk
+//     overlapped with the transfer as in VEOS 1.3.2-4dma);
+//   - the per-core user DMA engine, programmed directly from VE code against
+//     pre-registered DMAATB entries, with no OS interaction;
+//   - the LHM/SHM instructions, which load/store single 64-bit words of
+//     registered host memory from VE code.
+//
+// All engines move real bytes between the simulated memories and advance
+// simulated time according to the calibrated Timing model.
+package dma
+
+import (
+	"fmt"
+
+	"hamoffload/internal/mem"
+	"hamoffload/internal/pcie"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/vemem"
+)
+
+// TranslateMode selects the VEOS DMA manager's address-translation strategy.
+type TranslateMode int
+
+const (
+	// TranslateNaive performs one translation per VH page before the
+	// transfer starts (pre-4dma VEOS).
+	TranslateNaive TranslateMode = iota
+	// TranslateBulk4DMA performs bulk translations overlapped with
+	// descriptor generation and the DMA transfer (VEOS 1.3.2-4dma).
+	TranslateBulk4DMA
+)
+
+func (m TranslateMode) String() string {
+	if m == TranslateBulk4DMA {
+		return "bulk-4dma"
+	}
+	return "naive"
+}
+
+// Privileged is one VE's system DMA engine as driven by the VEOS DMA
+// manager. It is shared by all users of that VE; concurrent requests queue
+// on the engine resource.
+type Privileged struct {
+	timing   topology.Timing
+	mode     TranslateMode
+	pageSize int64
+	path     pcie.Path
+	engine   *simtime.Resource
+	hostMem  *mem.Memory
+	veMem    *mem.Memory
+}
+
+// NewPrivileged creates the engine for one VE.
+//
+// hostPageSize is the VH page size used for translations (the huge-page
+// ablation varies it); path is the PCIe route between the VEOS daemon's
+// socket and the VE.
+func NewPrivileged(eng *simtime.Engine, name string, t topology.Timing, mode TranslateMode,
+	hostPageSize int64, path pcie.Path, hostMem, veMem *mem.Memory) *Privileged {
+	return &Privileged{
+		timing:   t,
+		mode:     mode,
+		pageSize: hostPageSize,
+		path:     path,
+		engine:   simtime.NewResource(eng, name+"-privdma"),
+		hostMem:  hostMem,
+		veMem:    veMem,
+	}
+}
+
+// Mode returns the translation mode.
+func (d *Privileged) Mode() TranslateMode { return d.mode }
+
+// translateTime returns how long address translation delays the transfer of
+// n bytes starting at hostAddr whose pure wire time is wire.
+func (d *Privileged) translateTime(hostAddr mem.Addr, n int64, wire simtime.Duration) simtime.Duration {
+	pages := mem.PageCount(hostAddr, n, d.pageSize)
+	switch d.mode {
+	case TranslateBulk4DMA:
+		// Bulk translation overlaps with descriptor generation and the
+		// transfer itself: only translation work exceeding the wire time
+		// stalls the engine, plus a fixed setup.
+		overlapped := simtime.Duration(pages) * d.timing.BulkTranslatePerPage
+		stall := overlapped - wire
+		if stall < 0 {
+			stall = 0
+		}
+		return d.timing.BulkTranslateFixed + stall
+	default:
+		return simtime.Duration(pages) * d.timing.PrivTranslatePerPage
+	}
+}
+
+// Write moves n bytes from VH memory at hostAddr into VE memory at veAddr
+// (direction VH→VE), as performed for veo_write_mem. The calling process is
+// the VEOS DMA manager; IPC costs up to that point are charged by the veos
+// package.
+func (d *Privileged) Write(p *simtime.Proc, veAddr, hostAddr mem.Addr, n int64) error {
+	return d.transfer(p, pcie.Down, veAddr, hostAddr, n)
+}
+
+// Read moves n bytes from VE memory at veAddr into VH memory at hostAddr
+// (direction VE→VH), as performed for veo_read_mem.
+func (d *Privileged) Read(p *simtime.Proc, hostAddr, veAddr mem.Addr, n int64) error {
+	return d.transfer(p, pcie.Up, veAddr, hostAddr, n)
+}
+
+func (d *Privileged) transfer(p *simtime.Proc, dir pcie.Direction, veAddr, hostAddr mem.Addr, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("dma: privileged transfer of negative size %d", n)
+	}
+	name := "priv-dma-write"
+	if dir == pcie.Up {
+		name = "priv-dma-read"
+	}
+	defer d.timing.Recorder.Span(p, "dma", name)()
+	rate := d.timing.PrivDMAWriteRate
+	if dir == pcie.Up {
+		rate = d.timing.PrivDMAReadRate
+	}
+	wire := simtime.BytesOver(n, rate)
+
+	d.engine.Acquire(p)
+	p.Sleep(d.translateTime(hostAddr, n, wire))
+	p.Sleep(d.timing.PrivDMAKick)
+	if dir == pcie.Up {
+		// The read path issues a remote descriptor fetch and synchronises
+		// with the VE memory controller before data flows back.
+		p.Sleep(d.timing.PrivDMAReadExtra)
+	}
+	if n > 0 {
+		d.path.Link.Occupy(p, dir, n) // engine rate below link rate: charge engine rate
+		// The engine's sustained rate is below the link's TLP-limited rate;
+		// the residual time is engine-internal pacing.
+		if extra := wire - d.path.Link.WireTime(n); extra > 0 {
+			p.Sleep(extra)
+		}
+	}
+	p.Sleep(d.path.OneWayLatency())
+	d.engine.Release(p)
+
+	if dir == pcie.Down {
+		return mem.Copy(d.veMem, veAddr, d.hostMem, hostAddr, n)
+	}
+	return mem.Copy(d.hostMem, hostAddr, d.veMem, veAddr, n)
+}
+
+// UserDMA is one VE core's user DMA engine. Addresses are VEHVA and must be
+// registered in the DMAATB; translation is free at transfer time because the
+// DMAATB is a hardware TLB (no OS interaction, paper §IV-A).
+type UserDMA struct {
+	timing topology.Timing
+	atb    *vemem.DMAATB
+	path   pcie.Path
+	engine *simtime.Resource
+}
+
+// NewUserDMA creates the user DMA engine of one VE core.
+func NewUserDMA(eng *simtime.Engine, name string, t topology.Timing, atb *vemem.DMAATB, path pcie.Path) *UserDMA {
+	return &UserDMA{
+		timing: t,
+		atb:    atb,
+		path:   path,
+		engine: simtime.NewResource(eng, name+"-userdma"),
+	}
+}
+
+// Level selects how a user-DMA transfer is issued.
+type Level int
+
+const (
+	// API models ve_dma_post_wait: descriptor build in the library, post,
+	// completion poll. This is what the Fig. 10 "VE User DMA" series uses.
+	API Level = iota
+	// Raw models a pre-built descriptor hot path as used by the HAM-Offload
+	// DMA backend, paying only the hardware latency.
+	Raw
+)
+
+// Post moves n bytes from srcVEHVA to dstVEHVA in direction dir and blocks
+// until completion. Both ranges must be DMAATB-registered. Large transfers
+// split into pipelined descriptors of at most UserDMAMaxDescriptor bytes.
+func (u *UserDMA) Post(p *simtime.Proc, level Level, dir pcie.Direction, dstVEHVA, srcVEHVA mem.Addr, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("dma: user DMA transfer of negative size %d", n)
+	}
+	dstMem, dstAddr, err := u.atb.Translate(dstVEHVA, n)
+	if err != nil {
+		return err
+	}
+	srcMem, srcAddr, err := u.atb.Translate(srcVEHVA, n)
+	if err != nil {
+		return err
+	}
+
+	rate := u.timing.UserDMAWriteRate
+	if dir == pcie.Down {
+		rate = u.timing.UserDMAReadRate
+	}
+
+	defer u.timing.Recorder.Span(p, "dma", "user-dma "+dir.String())()
+	u.engine.Acquire(p)
+	if level == API {
+		p.Sleep(u.timing.UserDMAAPISetup)
+	}
+	p.Sleep(u.timing.UserDMAHWLatency)
+	if n > 0 {
+		// Descriptors pipeline: total time is rate-limited; per-descriptor
+		// overhead is hidden behind the transfer of the previous one.
+		maxDesc := u.timing.UserDMAMaxDescriptor.Int64()
+		for off := int64(0); off < n; off += maxDesc {
+			chunk := n - off
+			if chunk > maxDesc {
+				chunk = maxDesc
+			}
+			u.path.Link.Occupy(p, dir, chunk)
+			if extra := simtime.BytesOver(chunk, rate) - u.path.Link.WireTime(chunk); extra > 0 {
+				p.Sleep(extra)
+			}
+		}
+	}
+	p.Sleep(u.path.OneWayLatency())
+	u.engine.Release(p)
+
+	return mem.Copy(dstMem, dstAddr, srcMem, srcAddr, n)
+}
+
+// Instr models the LHM and SHM instructions of the VE ISA: word-granular
+// loads and stores of DMAATB-registered (host) memory, issued from VE code.
+type Instr struct {
+	timing topology.Timing
+	atb    *vemem.DMAATB
+	path   pcie.Path
+	loads  int64
+	stores int64
+}
+
+// NewInstr creates the instruction unit for one VE core.
+func NewInstr(t topology.Timing, atb *vemem.DMAATB, path pcie.Path) *Instr {
+	return &Instr{timing: t, atb: atb, path: path}
+}
+
+// Loads and Stores return the number of words moved, for stats.
+func (in *Instr) Loads() int64  { return in.loads }
+func (in *Instr) Stores() int64 { return in.stores }
+
+// LoadWord performs one LHM: an 8-byte load from the VEHVA. LHM is a full
+// round trip over PCIe and does not pipeline.
+func (in *Instr) LoadWord(p *simtime.Proc, vehva mem.Addr) (uint64, error) {
+	m, addr, err := in.atb.Translate(vehva, 8)
+	if err != nil {
+		return 0, err
+	}
+	p.Sleep(in.timing.LHMPerWord + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency*2)
+	in.loads++
+	return m.ReadUint64(addr)
+}
+
+// StoreWord performs one SHM: an 8-byte posted store to the VEHVA.
+func (in *Instr) StoreWord(p *simtime.Proc, vehva mem.Addr, v uint64) error {
+	m, addr, err := in.atb.Translate(vehva, 8)
+	if err != nil {
+		return err
+	}
+	p.Sleep(in.timing.SHMFirstWord + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency)
+	in.stores++
+	return m.WriteUint64(addr, v)
+}
+
+// StoreBytes stores data word-by-word via SHM. The first store pays the
+// setup cost; subsequent posted stores pipeline at SHMPerWord. Data is
+// padded to a whole word as the instruction writes 8 bytes at a time.
+func (in *Instr) StoreBytes(p *simtime.Proc, vehva mem.Addr, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	padded := int64((len(data) + 7) &^ 7)
+	m, addr, err := in.atb.Translate(vehva, padded)
+	if err != nil {
+		return err
+	}
+	words := padded / 8
+	cost := in.timing.SHMFirstWord + simtime.Duration(words-1)*in.timing.SHMPerWord
+	p.Sleep(cost + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency)
+	in.stores += words
+	buf := make([]byte, padded)
+	copy(buf, data)
+	return m.WriteAt(buf, addr)
+}
+
+// LoadBytes loads len(out) bytes word-by-word via LHM. Every word is a full
+// round trip; this is why Fig. 10 caps the LHM series at 0.01 GiB/s.
+func (in *Instr) LoadBytes(p *simtime.Proc, vehva mem.Addr, out []byte) error {
+	if len(out) == 0 {
+		return nil
+	}
+	padded := int64((len(out) + 7) &^ 7)
+	m, addr, err := in.atb.Translate(vehva, padded)
+	if err != nil {
+		return err
+	}
+	words := padded / 8
+	p.Sleep(simtime.Duration(words)*in.timing.LHMPerWord +
+		simtime.Duration(in.path.UPIHops)*in.timing.UPILatency*2)
+	in.loads += words
+	buf := make([]byte, padded)
+	if err := m.ReadAt(buf, addr); err != nil {
+		return err
+	}
+	copy(out, buf)
+	return nil
+}

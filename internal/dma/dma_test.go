@@ -1,0 +1,421 @@
+package dma
+
+import (
+	"testing"
+
+	"hamoffload/internal/hostmem"
+	"hamoffload/internal/pcie"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/units"
+	"hamoffload/internal/vemem"
+)
+
+// rig bundles a minimal VH+VE memory pair with a PCIe path for engine tests.
+type rig struct {
+	eng  *simtime.Engine
+	tm   topology.Timing
+	host *hostmem.Host
+	ve   *vemem.VE
+	path pcie.Path
+}
+
+func newRig(t *testing.T, pageSize units.Bytes) *rig {
+	t.Helper()
+	eng := simtime.NewEngine()
+	tm := topology.DefaultTiming()
+	host, err := hostmem.New("vh", 2*units.GiB, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err := vemem.New("ve0", 4*units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := pcie.NewFabric(eng, topology.A300_8(), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := fab.PathFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{eng: eng, tm: tm, host: host, ve: ve, path: path}
+}
+
+// runIn executes fn as a single simulated process and returns its duration.
+func (r *rig) runIn(t *testing.T, fn func(p *simtime.Proc)) simtime.Duration {
+	t.Helper()
+	var took simtime.Duration
+	r.eng.Spawn("test", func(p *simtime.Proc) {
+		start := p.Now()
+		fn(p)
+		took = p.Now().Sub(start)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return took
+}
+
+func TestPrivilegedWriteMovesBytes(t *testing.T) {
+	r := newRig(t, 2*units.MiB)
+	hAddr, err := r.host.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vAddr, err := r.ve.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.host.Mem.WriteAt([]byte("offload me"), hAddr); err != nil {
+		t.Fatal(err)
+	}
+	d := NewPrivileged(r.eng, "ve0", r.tm, TranslateBulk4DMA,
+		r.host.PageSize.Int64(), r.path, r.host.Mem, r.ve.HBM)
+	took := r.runIn(t, func(p *simtime.Proc) {
+		if err := d.Write(p, vAddr, hAddr, 10); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	})
+	got := make([]byte, 10)
+	if err := r.ve.HBM.ReadAt(got, vAddr); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "offload me" {
+		t.Fatalf("VE memory = %q", got)
+	}
+	if took <= 0 {
+		t.Fatal("transfer took no simulated time")
+	}
+}
+
+func TestPrivilegedReadSlowerThanWrite(t *testing.T) {
+	// The read path pays PrivDMAReadExtra (remote descriptor fetch).
+	r := newRig(t, 2*units.MiB)
+	hAddr, _ := r.host.Alloc(4096)
+	vAddr, _ := r.ve.Alloc(4096)
+	d := NewPrivileged(r.eng, "ve0", r.tm, TranslateBulk4DMA,
+		r.host.PageSize.Int64(), r.path, r.host.Mem, r.ve.HBM)
+	var wTime, rTime simtime.Duration
+	r.runIn(t, func(p *simtime.Proc) {
+		s := p.Now()
+		if err := d.Write(p, vAddr, hAddr, 8); err != nil {
+			t.Error(err)
+		}
+		wTime = p.Now().Sub(s)
+		s = p.Now()
+		if err := d.Read(p, hAddr, vAddr, 8); err != nil {
+			t.Error(err)
+		}
+		rTime = p.Now().Sub(s)
+	})
+	if rTime <= wTime {
+		t.Errorf("read %v should be slower than write %v", rTime, wTime)
+	}
+	if rTime-wTime < r.tm.PrivDMAReadExtra {
+		t.Errorf("read extra = %v, want >= %v", rTime-wTime, r.tm.PrivDMAReadExtra)
+	}
+}
+
+func TestNaiveTranslationPenalizes4KiBPages(t *testing.T) {
+	// 2 MiB of data on 4 KiB pages = 512 translations; the naive manager
+	// pays them serially, bulk-4dma overlaps them with the transfer.
+	size := (2 * units.MiB).Int64()
+	timeFor := func(mode TranslateMode) simtime.Duration {
+		r := newRig(t, 4*units.KiB)
+		hAddr, _ := r.host.Alloc(size)
+		vAddr, _ := r.ve.Alloc(size)
+		d := NewPrivileged(r.eng, "ve0", r.tm, mode,
+			r.host.PageSize.Int64(), r.path, r.host.Mem, r.ve.HBM)
+		return r.runIn(t, func(p *simtime.Proc) {
+			if err := d.Write(p, vAddr, hAddr, size); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	naive, bulk := timeFor(TranslateNaive), timeFor(TranslateBulk4DMA)
+	if naive <= bulk {
+		t.Errorf("naive %v should be slower than bulk %v on 4KiB pages", naive, bulk)
+	}
+	// The naive penalty is 512 × PrivTranslatePerPage ≈ 307 µs on top.
+	tm := topology.DefaultTiming()
+	wantExtra := 512 * tm.PrivTranslatePerPage
+	extra := naive - bulk
+	if extra < wantExtra/2 {
+		t.Errorf("naive extra = %v, want ≈%v", extra, wantExtra)
+	}
+}
+
+func TestHugePagesCutTranslationWork(t *testing.T) {
+	size := (8 * units.MiB).Int64()
+	timeFor := func(page units.Bytes) simtime.Duration {
+		r := newRig(t, page)
+		hAddr, _ := r.host.Alloc(size)
+		vAddr, _ := r.ve.Alloc(size)
+		d := NewPrivileged(r.eng, "ve0", r.tm, TranslateNaive,
+			r.host.PageSize.Int64(), r.path, r.host.Mem, r.ve.HBM)
+		return r.runIn(t, func(p *simtime.Proc) {
+			if err := d.Write(p, vAddr, hAddr, size); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	small, huge := timeFor(4*units.KiB), timeFor(2*units.MiB)
+	if small <= huge {
+		t.Errorf("4KiB pages %v should be slower than huge pages %v", small, huge)
+	}
+}
+
+func TestUserDMAMovesBytesAndRespectsATB(t *testing.T) {
+	r := newRig(t, 2*units.MiB)
+	seg, err := r.host.ShmCreate(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vAddr, err := r.ve.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostVEHVA, err := r.ve.ATB().Register(r.host.Mem, seg.Addr, seg.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	veVEHVA, err := r.ve.ATB().Register(r.ve.HBM, vAddr, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ve.HBM.WriteAt([]byte("result!"), vAddr); err != nil {
+		t.Fatal(err)
+	}
+	u := NewUserDMA(r.eng, "ve0c0", r.tm, r.ve.ATB(), r.path)
+	r.runIn(t, func(p *simtime.Proc) {
+		// VE→VH: write local buffer into host shm.
+		if err := u.Post(p, API, pcie.Up, hostVEHVA, veVEHVA, 7); err != nil {
+			t.Errorf("Post: %v", err)
+		}
+	})
+	got := make([]byte, 7)
+	if err := r.host.Mem.ReadAt(got, seg.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "result!" {
+		t.Fatalf("host shm = %q", got)
+	}
+
+	// Unregistered addresses must raise a DMA exception.
+	r2 := newRig(t, 2*units.MiB)
+	u2 := NewUserDMA(r2.eng, "x", r2.tm, r2.ve.ATB(), r2.path)
+	r2.runIn(t, func(p *simtime.Proc) {
+		if err := u2.Post(p, API, pcie.Up, 0xdead000, 0xbeef000, 8); err == nil {
+			t.Error("Post with unregistered VEHVA should fail")
+		}
+	})
+}
+
+func TestUserDMARawFasterThanAPI(t *testing.T) {
+	r := newRig(t, 2*units.MiB)
+	seg, _ := r.host.ShmCreate(4096)
+	vAddr, _ := r.ve.Alloc(4096)
+	hostVEHVA, _ := r.ve.ATB().Register(r.host.Mem, seg.Addr, seg.Size)
+	veVEHVA, _ := r.ve.ATB().Register(r.ve.HBM, vAddr, 4096)
+	u := NewUserDMA(r.eng, "ve0c0", r.tm, r.ve.ATB(), r.path)
+	var api, raw simtime.Duration
+	r.runIn(t, func(p *simtime.Proc) {
+		s := p.Now()
+		if err := u.Post(p, API, pcie.Up, hostVEHVA, veVEHVA, 64); err != nil {
+			t.Error(err)
+		}
+		api = p.Now().Sub(s)
+		s = p.Now()
+		if err := u.Post(p, Raw, pcie.Up, hostVEHVA, veVEHVA, 64); err != nil {
+			t.Error(err)
+		}
+		raw = p.Now().Sub(s)
+	})
+	if api-raw != r.tm.UserDMAAPISetup {
+		t.Errorf("API-Raw difference = %v, want %v", api-raw, r.tm.UserDMAAPISetup)
+	}
+}
+
+func TestUserDMAPeakBandwidth(t *testing.T) {
+	// Table IV: VE user DMA peaks at 11.1 GiB/s VE→VH and 10.6 GiB/s VH→VE.
+	for _, c := range []struct {
+		dir  pcie.Direction
+		want float64
+	}{
+		{pcie.Up, 11.1},
+		{pcie.Down, 10.6},
+	} {
+		r := newRig(t, 2*units.MiB)
+		size := (256 * units.MiB).Int64()
+		seg, err := r.host.ShmCreate(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vAddr, err := r.ve.Alloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostVEHVA, _ := r.ve.ATB().Register(r.host.Mem, seg.Addr, size)
+		veVEHVA, _ := r.ve.ATB().Register(r.ve.HBM, vAddr, size)
+		u := NewUserDMA(r.eng, "ve0c0", r.tm, r.ve.ATB(), r.path)
+		took := r.runIn(t, func(p *simtime.Proc) {
+			dst, src := hostVEHVA, veVEHVA
+			if c.dir == pcie.Down {
+				dst, src = veVEHVA, hostVEHVA
+			}
+			if err := u.Post(p, API, c.dir, dst, src, size); err != nil {
+				t.Error(err)
+			}
+		})
+		gibps := float64(size) / float64(units.GiB) / took.Seconds()
+		if gibps < c.want*0.95 || gibps > c.want*1.05 {
+			t.Errorf("%v user DMA peak = %.2f GiB/s, want ≈%.1f", c.dir, gibps, c.want)
+		}
+	}
+}
+
+func TestSHMStoreAndLHMLoad(t *testing.T) {
+	r := newRig(t, 2*units.MiB)
+	seg, _ := r.host.ShmCreate(4096)
+	vehva, _ := r.ve.ATB().Register(r.host.Mem, seg.Addr, seg.Size)
+	in := NewInstr(r.tm, r.ve.ATB(), r.path)
+	r.runIn(t, func(p *simtime.Proc) {
+		if err := in.StoreWord(p, vehva, 0xdeadbeef); err != nil {
+			t.Fatalf("StoreWord: %v", err)
+		}
+		v, err := in.LoadWord(p, vehva)
+		if err != nil {
+			t.Fatalf("LoadWord: %v", err)
+		}
+		if v != 0xdeadbeef {
+			t.Errorf("LoadWord = %#x", v)
+		}
+	})
+	if in.Loads() != 1 || in.Stores() != 1 {
+		t.Errorf("counters = %d/%d", in.Loads(), in.Stores())
+	}
+}
+
+func TestSHMBytesPipelineAndLHMDoesNot(t *testing.T) {
+	r := newRig(t, 2*units.MiB)
+	seg, _ := r.host.ShmCreate(1 << 20)
+	vehva, _ := r.ve.ATB().Register(r.host.Mem, seg.Addr, seg.Size)
+	in := NewInstr(r.tm, r.ve.ATB(), r.path)
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var storeT, loadT simtime.Duration
+	r.runIn(t, func(p *simtime.Proc) {
+		s := p.Now()
+		if err := in.StoreBytes(p, vehva, data); err != nil {
+			t.Fatal(err)
+		}
+		storeT = p.Now().Sub(s)
+		s = p.Now()
+		out := make([]byte, 4096)
+		if err := in.LoadBytes(p, vehva, out); err != nil {
+			t.Fatal(err)
+		}
+		loadT = p.Now().Sub(s)
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("byte %d mismatch", i)
+			}
+		}
+	})
+	// 512 words: stores pipeline at ~124 ns/word (≈64 µs); loads round-trip
+	// at 700 ns/word (≈358 µs).
+	words := simtime.Duration(4096 / 8)
+	wantStore := r.tm.SHMFirstWord + (words-1)*r.tm.SHMPerWord
+	if storeT != wantStore {
+		t.Errorf("StoreBytes = %v, want %v", storeT, wantStore)
+	}
+	wantLoad := words * r.tm.LHMPerWord
+	if loadT != wantLoad {
+		t.Errorf("LoadBytes = %v, want %v", loadT, wantLoad)
+	}
+	if loadT <= storeT {
+		t.Error("LHM should be much slower than SHM")
+	}
+}
+
+func TestSHMPeakBandwidths(t *testing.T) {
+	// Table IV: SHM/LHM column — 0.06 GiB/s VE→VH (SHM), 0.01 GiB/s VH→VE
+	// (LHM), measured at the 4 MiB sweep cap.
+	r := newRig(t, 2*units.MiB)
+	size := (4 * units.MiB).Int64()
+	seg, _ := r.host.ShmCreate(size)
+	vehva, _ := r.ve.ATB().Register(r.host.Mem, seg.Addr, size)
+	in := NewInstr(r.tm, r.ve.ATB(), r.path)
+	buf := make([]byte, size)
+	var storeT, loadT simtime.Duration
+	r.runIn(t, func(p *simtime.Proc) {
+		s := p.Now()
+		if err := in.StoreBytes(p, vehva, buf); err != nil {
+			t.Fatal(err)
+		}
+		storeT = p.Now().Sub(s)
+		s = p.Now()
+		if err := in.LoadBytes(p, vehva, buf); err != nil {
+			t.Fatal(err)
+		}
+		loadT = p.Now().Sub(s)
+	})
+	shm := float64(size) / float64(units.GiB) / storeT.Seconds()
+	lhm := float64(size) / float64(units.GiB) / loadT.Seconds()
+	if shm < 0.055 || shm > 0.068 {
+		t.Errorf("SHM peak = %.4f GiB/s, want ≈0.06", shm)
+	}
+	if lhm < 0.009 || lhm > 0.012 {
+		t.Errorf("LHM peak = %.4f GiB/s, want ≈0.01", lhm)
+	}
+}
+
+func TestPrivilegedEngineSerializesRequests(t *testing.T) {
+	// The system DMA engine is shared: two concurrent writes serialize.
+	r := newRig(t, 2*units.MiB)
+	size := (1 * units.MiB).Int64()
+	h1, _ := r.host.Alloc(size)
+	h2, _ := r.host.Alloc(size)
+	v1, _ := r.ve.Alloc(size)
+	v2, _ := r.ve.Alloc(size)
+	d := NewPrivileged(r.eng, "ve0", r.tm, TranslateBulk4DMA,
+		r.host.PageSize.Int64(), r.path, r.host.Mem, r.ve.HBM)
+	var t1, t2 simtime.Time
+	r.eng.Spawn("a", func(p *simtime.Proc) {
+		if err := d.Write(p, v1, h1, size); err != nil {
+			t.Error(err)
+		}
+		t1 = p.Now()
+	})
+	r.eng.Spawn("b", func(p *simtime.Proc) {
+		if err := d.Write(p, v2, h2, size); err != nil {
+			t.Error(err)
+		}
+		t2 = p.Now()
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t2 < t1*2-simtime.Time(simtime.Microsecond) {
+		t.Errorf("second transfer finished at %v, first at %v: not serialized", t2, t1)
+	}
+}
+
+func TestNegativeSizesRejected(t *testing.T) {
+	r := newRig(t, 2*units.MiB)
+	d := NewPrivileged(r.eng, "ve0", r.tm, TranslateBulk4DMA,
+		r.host.PageSize.Int64(), r.path, r.host.Mem, r.ve.HBM)
+	u := NewUserDMA(r.eng, "c0", r.tm, r.ve.ATB(), r.path)
+	r.runIn(t, func(p *simtime.Proc) {
+		if err := d.Write(p, 0, 0, -1); err == nil {
+			t.Error("negative privileged write accepted")
+		}
+		if err := u.Post(p, API, pcie.Up, 0, 0, -1); err == nil {
+			t.Error("negative user DMA accepted")
+		}
+	})
+}

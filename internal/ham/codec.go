@@ -1,0 +1,217 @@
+// Package ham implements Heterogeneous Active Messages: typed messages that
+// can be transferred and executed between the heterogeneous binaries of the
+// same program (paper §I-A, §III-E). The C++ original generates message
+// types and handlers through template meta-programming and translates
+// handler addresses between binaries via typeid-name tables; this Go port
+// keeps the same architecture — a per-binary handler table with differing
+// local addresses, a lexicographically sorted name table yielding globally
+// valid handler keys, and O(1) translation in both directions — with Go
+// generics playing the role of the templates.
+package ham
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder serialises message payloads. All values are little-endian; the
+// x86-64 VH and the VE ABI share endianness, which is what makes the format
+// exchangeable between the heterogeneous binaries.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current payload size.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutU8 appends one byte.
+func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutU32 appends a 32-bit word.
+func (e *Encoder) PutU32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// PutU64 appends a 64-bit word.
+func (e *Encoder) PutU64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// PutI64 appends a signed 64-bit word.
+func (e *Encoder) PutI64(v int64) { e.PutU64(uint64(v)) }
+
+// PutF64 appends a float64.
+func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
+
+// PutF32 appends a float32.
+func (e *Encoder) PutF32(v float32) { e.PutU32(math.Float32bits(v)) }
+
+// PutBool appends a bool as one byte.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutU8(1)
+	} else {
+		e.PutU8(0)
+	}
+}
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) {
+	e.PutU32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutU32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutF64s appends a length-prefixed []float64.
+func (e *Encoder) PutF64s(v []float64) {
+	e.PutU32(uint32(len(v)))
+	for _, x := range v {
+		e.PutF64(x)
+	}
+}
+
+// PutI64s appends a length-prefixed []int64.
+func (e *Encoder) PutI64s(v []int64) {
+	e.PutU32(uint32(len(v)))
+	for _, x := range v {
+		e.PutI64(x)
+	}
+}
+
+// Decoder deserialises message payloads. Errors are sticky: after the first
+// underrun every accessor returns zero values and Err reports the failure.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload for decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("ham: decode underrun: need %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a 32-bit word.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a 64-bit word.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a signed 64-bit word.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// F32 reads a float32.
+func (d *Decoder) F32() float32 { return math.Float32frombits(d.U32()) }
+
+// Bool reads a bool.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes reads a length-prefixed byte slice (copied).
+func (d *Decoder) Bytes() []byte {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// F64s reads a length-prefixed []float64.
+func (d *Decoder) F64s() []float64 {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.F64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// I64s reads a length-prefixed []int64.
+func (d *Decoder) I64s() []int64 {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.I64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package mem provides the byte-addressable sparse memories and allocators
+// that back the simulated Vector Host DRAM and Vector Engine HBM. Transfers
+// in the simulation copy real bytes between these memories, so offloaded
+// kernels compute real results. Extents are lazily chunk-backed: mapping a
+// 40 GiB buffer is cheap, and only chunks that are actually written consume
+// real memory, which is what makes a simulated 48 GiB HBM affordable.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is an address within one Memory.
+type Addr uint64
+
+// ChunkSize is the granularity of lazy backing storage. Slice views must not
+// cross a chunk boundary; protocol-level buffers (messages, flags) are far
+// smaller than this, and bulk data uses ReadAt/WriteAt, which span freely.
+const ChunkSize = 256 << 10
+
+// Memory is a sparse, byte-addressable address space made of mapped extents.
+// Reads and writes may span multiple adjacent extents but fail on unmapped
+// gaps, mimicking a segmentation fault.
+type Memory struct {
+	name    string
+	extents []*extent // sorted by addr, non-overlapping
+}
+
+type extent struct {
+	addr   Addr
+	size   int64
+	chunks [][]byte // ceil(size/ChunkSize) entries, nil until first write
+}
+
+func (e *extent) end() Addr { return e.addr + Addr(e.size) }
+
+// chunk returns the backing chunk containing extent offset off, allocating
+// it when allocate is true. The returned slice covers the whole chunk
+// (clipped to the extent size); callers index it with off%ChunkSize.
+func (e *extent) chunk(off int64, allocate bool) []byte {
+	i := off / ChunkSize
+	if e.chunks[i] == nil {
+		if !allocate {
+			return nil
+		}
+		size := int64(ChunkSize)
+		if rem := e.size - i*ChunkSize; rem < size {
+			size = rem
+		}
+		e.chunks[i] = make([]byte, size)
+	}
+	return e.chunks[i]
+}
+
+// NewMemory returns an empty address space. The name appears in errors.
+func NewMemory(name string) *Memory { return &Memory{name: name} }
+
+// Name returns the memory's name.
+func (m *Memory) Name() string { return m.name }
+
+// MappedBytes returns the total size of all mapped extents (address space,
+// not resident memory).
+func (m *Memory) MappedBytes() int64 {
+	var n int64
+	for _, e := range m.extents {
+		n += e.size
+	}
+	return n
+}
+
+// ResidentBytes returns the real memory consumed by touched chunks.
+func (m *Memory) ResidentBytes() int64 {
+	var n int64
+	for _, e := range m.extents {
+		for _, c := range e.chunks {
+			n += int64(len(c))
+		}
+	}
+	return n
+}
+
+// find returns the index of the first extent whose end is above addr.
+func (m *Memory) find(addr Addr) int {
+	return sort.Search(len(m.extents), func(i int) bool {
+		return m.extents[i].end() > addr
+	})
+}
+
+// Map creates a zero-filled extent of size bytes at addr. It fails if the
+// range overlaps an existing extent or size is not positive.
+func (m *Memory) Map(addr Addr, size int64) error {
+	if size <= 0 {
+		return fmt.Errorf("mem %s: Map size %d must be positive", m.name, size)
+	}
+	end := addr + Addr(size)
+	if end < addr {
+		return fmt.Errorf("mem %s: Map [%#x,+%d) wraps the address space", m.name, addr, size)
+	}
+	i := m.find(addr)
+	if i < len(m.extents) && m.extents[i].addr < end {
+		return fmt.Errorf("mem %s: Map [%#x,+%d) overlaps extent at %#x",
+			m.name, addr, size, m.extents[i].addr)
+	}
+	nChunks := (size + ChunkSize - 1) / ChunkSize
+	m.extents = append(m.extents, nil)
+	copy(m.extents[i+1:], m.extents[i:])
+	m.extents[i] = &extent{addr: addr, size: size, chunks: make([][]byte, nChunks)}
+	return nil
+}
+
+// Unmap removes the extent starting exactly at addr.
+func (m *Memory) Unmap(addr Addr) error {
+	i := m.find(addr)
+	if i >= len(m.extents) || m.extents[i].addr != addr {
+		return fmt.Errorf("mem %s: Unmap: no extent starts at %#x", m.name, addr)
+	}
+	m.extents = append(m.extents[:i], m.extents[i+1:]...)
+	return nil
+}
+
+// Mapped reports whether the whole range [addr, addr+size) is mapped.
+func (m *Memory) Mapped(addr Addr, size int64) bool {
+	if size <= 0 {
+		return size == 0
+	}
+	pos := addr
+	end := addr + Addr(size)
+	for pos < end {
+		i := m.find(pos)
+		if i >= len(m.extents) || m.extents[i].addr > pos {
+			return false
+		}
+		pos = m.extents[i].end()
+	}
+	return true
+}
+
+// ReadAt fills p from the bytes at addr. The range may span extents but must
+// be fully mapped; untouched chunks read as zero.
+func (m *Memory) ReadAt(p []byte, addr Addr) error {
+	return m.walk(addr, int64(len(p)), func(e *extent, off, n, pos int64) {
+		dst := p[pos : pos+n]
+		c := e.chunk(off, false)
+		if c == nil {
+			for i := range dst {
+				dst[i] = 0
+			}
+			return
+		}
+		copy(dst, c[off%ChunkSize:])
+	})
+}
+
+// WriteAt stores p at addr. The range may span extents but must be fully
+// mapped.
+func (m *Memory) WriteAt(p []byte, addr Addr) error {
+	return m.walk(addr, int64(len(p)), func(e *extent, off, n, pos int64) {
+		c := e.chunk(off, true)
+		copy(c[off%ChunkSize:], p[pos:pos+n])
+	})
+}
+
+// walk visits the range [addr, addr+n) chunk-piece by chunk-piece. For each
+// piece it calls f with the extent, the offset within the extent, the piece
+// length (never crossing a chunk boundary), and the offset within the range.
+func (m *Memory) walk(addr Addr, n int64, f func(e *extent, off, pieceLen, rangeOff int64)) error {
+	if n == 0 {
+		return nil
+	}
+	pos := addr
+	end := addr + Addr(n)
+	if end < addr {
+		return fmt.Errorf("mem %s: access [%#x,+%d) wraps the address space", m.name, addr, n)
+	}
+	for pos < end {
+		i := m.find(pos)
+		if i >= len(m.extents) || m.extents[i].addr > pos {
+			return fmt.Errorf("mem %s: fault at %#x (range [%#x,+%d))", m.name, pos, addr, n)
+		}
+		e := m.extents[i]
+		for pos < end && pos < e.end() {
+			off := int64(pos - e.addr)
+			piece := ChunkSize - off%ChunkSize // bytes left in this chunk
+			if rem := e.size - off; piece > rem {
+				piece = rem
+			}
+			if rem := int64(end - pos); piece > rem {
+				piece = rem
+			}
+			f(e, off, piece, int64(pos-addr))
+			pos += Addr(piece)
+		}
+	}
+	return nil
+}
+
+// Slice returns a direct, writable view of [addr, addr+n). The range must
+// lie within a single backing chunk of a single extent; it is the zero-copy
+// fast path for small protocol structures such as flags and message headers.
+func (m *Memory) Slice(addr Addr, n int64) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mem %s: Slice negative length %d", m.name, n)
+	}
+	i := m.find(addr)
+	if i >= len(m.extents) || m.extents[i].addr > addr {
+		return nil, fmt.Errorf("mem %s: Slice fault at %#x", m.name, addr)
+	}
+	e := m.extents[i]
+	off := int64(addr - e.addr)
+	if off+n > e.size {
+		return nil, fmt.Errorf("mem %s: Slice [%#x,+%d) crosses extent boundary at %#x",
+			m.name, addr, n, e.end())
+	}
+	if off/ChunkSize != (off+n-1)/ChunkSize && n > 0 {
+		return nil, fmt.Errorf("mem %s: Slice [%#x,+%d) crosses a %d-byte chunk boundary",
+			m.name, addr, n, int64(ChunkSize))
+	}
+	c := e.chunk(off, true)
+	co := off % ChunkSize
+	return c[co : co+n : co+n], nil
+}
+
+// Copy moves n bytes from src/srcAddr to dst/dstAddr, possibly between
+// different memories. Overlapping same-memory copies behave like memmove.
+// Large copies stream through a bounded buffer so a 256 MiB simulated DMA
+// does not allocate 256 MiB of real transient memory.
+func Copy(dst *Memory, dstAddr Addr, src *Memory, srcAddr Addr, n int64) error {
+	if n == 0 {
+		return nil
+	}
+	if n < 0 {
+		return fmt.Errorf("mem: Copy negative length %d", n)
+	}
+	const stride = 4 * ChunkSize
+	if n <= stride {
+		buf := make([]byte, n)
+		if err := src.ReadAt(buf, srcAddr); err != nil {
+			return err
+		}
+		return dst.WriteAt(buf, dstAddr)
+	}
+	// Overlapping forward copies within one memory would clobber unread
+	// source bytes when streamed front to back; copy backwards then.
+	backwards := dst == src && dstAddr > srcAddr && dstAddr < srcAddr+Addr(n)
+	buf := make([]byte, stride)
+	for off := int64(0); off < n; off += stride {
+		chunk := n - off
+		if chunk > stride {
+			chunk = stride
+		}
+		pos := off
+		if backwards {
+			pos = n - off - chunk
+		}
+		b := buf[:chunk]
+		if err := src.ReadAt(b, srcAddr+Addr(pos)); err != nil {
+			return err
+		}
+		if err := dst.WriteAt(b, dstAddr+Addr(pos)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PageCount returns how many pages of the given size the range
+// [addr, addr+n) touches — the unit of work for DMA address translation.
+func PageCount(addr Addr, n int64, pageSize int64) int64 {
+	if n <= 0 || pageSize <= 0 {
+		return 0
+	}
+	first := int64(addr) / pageSize
+	last := (int64(addr) + n - 1) / pageSize
+	return last - first + 1
+}

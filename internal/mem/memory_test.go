@@ -1,0 +1,325 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(0x1000, 256); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	data := []byte("hello, vector engine")
+	if err := m.WriteAt(data, 0x1010); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := m.ReadAt(got, 0x1010); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}
+
+func TestMapZeroFilled(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	for i := range got {
+		got[i] = 0xff
+	}
+	if err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		addr Addr
+		size int64
+	}{
+		{100, 100}, {150, 10}, {50, 60}, {199, 2}, {0, 300},
+	} {
+		if err := m.Map(c.addr, c.size); err == nil {
+			t.Errorf("Map(%#x,%d) should overlap", c.addr, c.size)
+		}
+	}
+	// Adjacent is fine.
+	if err := m.Map(200, 50); err != nil {
+		t.Errorf("adjacent Map failed: %v", err)
+	}
+	if err := m.Map(0, 100); err != nil {
+		t.Errorf("adjacent Map before failed: %v", err)
+	}
+}
+
+func TestAccessSpansAdjacentExtents(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("0123456789abcdefghij")
+	if err := m.WriteAt(data, 0); err != nil {
+		t.Fatalf("spanning WriteAt: %v", err)
+	}
+	got := make([]byte, 20)
+	if err := m.ReadAt(got, 0); err != nil {
+		t.Fatalf("spanning ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFaultOnUnmapped(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(20, 10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 30)
+	if err := m.ReadAt(buf, 0); err == nil {
+		t.Error("read across gap should fault")
+	}
+	if err := m.WriteAt(buf[:5], 28); err == nil {
+		t.Error("write past extent should fault")
+	}
+	if err := m.ReadAt(buf[:1], 1000); err == nil {
+		t.Error("read of unmapped should fault")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(0x100, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmap(0x100); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if err := m.ReadAt(make([]byte, 1), 0x100); err == nil {
+		t.Error("read after Unmap should fault")
+	}
+	if err := m.Unmap(0x100); err == nil {
+		t.Error("double Unmap should fail")
+	}
+	if err := m.Unmap(0x50); err == nil {
+		t.Error("Unmap of never-mapped addr should fail")
+	}
+}
+
+func TestMapped(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(20, 10); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr Addr
+		size int64
+		want bool
+	}{
+		{10, 20, true}, {10, 10, true}, {15, 10, true},
+		{9, 2, false}, {29, 2, false}, {0, 5, false}, {12, 0, true},
+	}
+	for _, c := range cases {
+		if got := m.Mapped(c.addr, c.size); got != c.want {
+			t.Errorf("Mapped(%d,%d) = %v, want %v", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	m := NewMemory("test")
+	if err := m.Map(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Slice(10, 20)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	copy(s, "direct view works!")
+	got := make([]byte, 18)
+	if err := m.ReadAt(got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "direct view works!" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := m.Slice(90, 20); err == nil {
+		t.Error("Slice past extent should fail")
+	}
+	if _, err := m.Slice(200, 1); err == nil {
+		t.Error("Slice of unmapped should fail")
+	}
+}
+
+func TestCopyBetweenMemories(t *testing.T) {
+	src := NewMemory("src")
+	dst := NewMemory("dst")
+	if err := src.Map(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Map(0x8000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteAt([]byte("payload"), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(dst, 0x8010, src, 8, 7); err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	got := make([]byte, 7)
+	if err := dst.ReadAt(got, 0x8010); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCopyOverlappingSameMemory(t *testing.T) {
+	m := NewMemory("m")
+	if err := m.Map(0, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt([]byte("abcdefgh"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(m, 2, m, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	if err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ababcdefgh" {
+		t.Fatalf("got %q, want %q", got, "ababcdefgh")
+	}
+}
+
+func TestPageCount(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		n    int64
+		page int64
+		want int64
+	}{
+		{0, 1, 4096, 1},
+		{0, 4096, 4096, 1},
+		{0, 4097, 4096, 2},
+		{4095, 2, 4096, 2},
+		{4096, 4096, 4096, 1},
+		{0, 0, 4096, 0},
+		{1 << 21, 1 << 21, 1 << 21, 1},
+		{100, 1 << 21, 1 << 21, 2},
+	}
+	for _, c := range cases {
+		if got := PageCount(c.addr, c.n, c.page); got != c.want {
+			t.Errorf("PageCount(%d,%d,%d) = %d, want %d", c.addr, c.n, c.page, got, c.want)
+		}
+	}
+}
+
+// Property: a write followed by a read of the same range always round-trips,
+// for arbitrary offsets and lengths within a mapped extent.
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	m := NewMemory("prop")
+	const size = 1 << 16
+	if err := m.Map(0x4000, size); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := Addr(0x4000 + int64(off)%(size-int64(len(data))))
+		if err := m.WriteAt(data, addr); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := m.ReadAt(got, addr); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCopyStreamingLarge covers the chunked path of Copy, including both
+// overlap directions within one memory.
+func TestCopyStreamingLarge(t *testing.T) {
+	const n = 3*ChunkSize + 123 // forces the streaming path
+	m := NewMemory("big")
+	if err := m.Map(0, 8*ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	if err := m.WriteAt(src, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Forward overlap (dst > src): must behave like memmove.
+	if err := Copy(m, 1000, m, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	if err := m.ReadAt(got, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("forward-overlap streamed copy corrupted data")
+	}
+	// Backward overlap (dst < src).
+	if err := m.WriteAt(src, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(m, 500, m, 1000, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReadAt(got, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("backward-overlap streamed copy corrupted data")
+	}
+	// Cross-memory large copy.
+	d := NewMemory("dst")
+	if err := d.Map(0, 8*ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(d, 64, m, 500, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(got, 64); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("cross-memory streamed copy corrupted data")
+	}
+}

@@ -1,0 +1,155 @@
+// Package pcie models the PCIe Gen3 x16 fabric between the Vector Host's
+// sockets and the Vector Engine cards, including TLP payload/header overhead
+// (256 B max payload for the VE → 91 % efficiency → 13.4 GiB/s achievable,
+// paper §V), full-duplex per-direction occupancy, propagation latency, and
+// the UPI hop taken when offloading from the socket that does not host the
+// VE's PCIe switch (Fig. 3, §V-A).
+package pcie
+
+import (
+	"fmt"
+
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/topology"
+)
+
+// Direction of a transfer over a link.
+type Direction int
+
+const (
+	// Down is VH → VE (writes toward the device).
+	Down Direction = iota
+	// Up is VE → VH (reads toward the host).
+	Up
+)
+
+func (d Direction) String() string {
+	if d == Down {
+		return "VH=>VE"
+	}
+	return "VE=>VH"
+}
+
+// Link is the PCIe connection of one VE card: two independent simplex
+// channels (PCIe is full duplex), each serving transfers FIFO.
+type Link struct {
+	ve      int
+	timing  topology.Timing
+	channel [2]*simtime.Resource
+	moved   [2]int64 // payload bytes per direction, for stats
+}
+
+// NewLink creates the link for VE ve using the given timing model.
+func NewLink(eng *simtime.Engine, ve int, t topology.Timing) *Link {
+	return &Link{
+		ve:     ve,
+		timing: t,
+		channel: [2]*simtime.Resource{
+			simtime.NewResource(eng, fmt.Sprintf("pcie-ve%d-down", ve)),
+			simtime.NewResource(eng, fmt.Sprintf("pcie-ve%d-up", ve)),
+		},
+	}
+}
+
+// WireTime returns the serialization delay of n payload bytes: the time the
+// TLPs (payload plus per-TLP header overhead) occupy the link at the raw
+// line rate.
+func (l *Link) WireTime(n int64) simtime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	payload := l.timing.PCIeMaxPayload.Int64()
+	tlps := (n + payload - 1) / payload
+	wire := n + tlps*l.timing.PCIeTLPHeader.Int64()
+	return simtime.BytesOver(wire, l.timing.PCIeRawRate)
+}
+
+// Occupy serializes n bytes in the given direction, blocking while earlier
+// transfers in the same direction drain. It does not include propagation
+// latency; callers add Latency separately so that pipelined engines can
+// overlap occupancy with their own bookkeeping.
+func (l *Link) Occupy(p *simtime.Proc, dir Direction, n int64) {
+	if n <= 0 {
+		return
+	}
+	l.channel[dir].Use(p, l.WireTime(n))
+	l.moved[dir] += n
+}
+
+// Latency returns the one-way propagation latency of the link.
+func (l *Link) Latency() simtime.Duration { return l.timing.PCIeLatency }
+
+// Moved returns the payload bytes transferred in the given direction.
+func (l *Link) Moved(dir Direction) int64 { return l.moved[dir] }
+
+// BusyTime returns cumulative occupancy of the given direction.
+func (l *Link) BusyTime(dir Direction) simtime.Duration {
+	return l.channel[dir].BusyTime()
+}
+
+// Path is a route between a VH process pinned to a socket and one VE,
+// accumulating the UPI hop when the route crosses sockets.
+type Path struct {
+	Link    *Link
+	UPIHops int
+	timing  topology.Timing
+}
+
+// OneWayLatency is the propagation latency along the path in one direction.
+func (pa Path) OneWayLatency() simtime.Duration {
+	return pa.Link.Latency() + simtime.Duration(pa.UPIHops)*pa.timing.UPILatency
+}
+
+// Transfer moves n payload bytes along the path in the given direction:
+// serialization occupancy followed by propagation.
+func (pa Path) Transfer(p *simtime.Proc, dir Direction, n int64) {
+	pa.Link.Occupy(p, dir, n)
+	p.Sleep(pa.OneWayLatency())
+}
+
+// Fabric is the whole PCIe/UPI interconnect of a system: one link per VE.
+type Fabric struct {
+	sys    *topology.System
+	timing topology.Timing
+	links  []*Link
+}
+
+// NewFabric builds the interconnect for sys.
+func NewFabric(eng *simtime.Engine, sys *topology.System, t topology.Timing) (*Fabric, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{sys: sys, timing: t}
+	for _, ve := range sys.VEs {
+		f.links = append(f.links, NewLink(eng, ve.ID, t))
+	}
+	return f, nil
+}
+
+// Link returns the link of VE ve.
+func (f *Fabric) Link(ve int) (*Link, error) {
+	if ve < 0 || ve >= len(f.links) {
+		return nil, fmt.Errorf("pcie: no link for VE %d", ve)
+	}
+	return f.links[ve], nil
+}
+
+// PathFrom returns the route from a process pinned on socket to VE ve.
+func (f *Fabric) PathFrom(socket, ve int) (Path, error) {
+	crosses, err := f.sys.CrossesUPI(socket, ve)
+	if err != nil {
+		return Path{}, err
+	}
+	l, err := f.Link(ve)
+	if err != nil {
+		return Path{}, err
+	}
+	hops := 0
+	if crosses {
+		hops = 1
+	}
+	return Path{Link: l, UPIHops: hops, timing: f.timing}, nil
+}

@@ -1,0 +1,66 @@
+package simtime
+
+import "testing"
+
+// BenchmarkEventThroughput measures the DES kernel's raw event rate — the
+// figure that bounds how fast bandwidth sweeps and offload loops simulate.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	e.Spawn("spinner", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPingPong measures two processes handing control back and forth
+// through a queue — the message-loop pattern of every backend.
+func BenchmarkPingPong(b *testing.B) {
+	e := NewEngine()
+	req := NewQueue[int](e, "req")
+	resp := NewQueue[int](e, "resp")
+	n := b.N
+	e.Spawn("server", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			v := req.Pop(p)
+			resp.Push(v + 1)
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			req.Push(i)
+			if got := resp.Pop(p); got != i+1 {
+				b.Errorf("got %d", got)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures FIFO resource hand-off under load.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	const workers = 8
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		e.Spawn("w", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Use(p, 10)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

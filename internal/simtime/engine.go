@@ -1,0 +1,213 @@
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrDeadlock is returned by Run when no process can make progress: the event
+// queue is empty but parked processes remain.
+var ErrDeadlock = errors.New("simtime: deadlock: no pending events but processes are parked")
+
+// ErrEventLimit is returned by Run when the configured event budget is
+// exhausted, which usually indicates a runaway polling loop.
+var ErrEventLimit = errors.New("simtime: event limit exceeded")
+
+// ErrDeadline is returned by Run when simulated time passes the configured
+// deadline.
+var ErrDeadline = errors.New("simtime: simulated-time deadline exceeded")
+
+// wake reasons delivered to a parked process.
+const (
+	reasonTimer = iota // Sleep expiry or wait timeout
+	reasonEvent        // an Event fired / a Queue item arrived / a Resource was granted
+	reasonKill         // engine shutdown; park panics with errKilled
+)
+
+// waiter represents one parked process. Wake events reference waiters rather
+// than processes so that a stale wake (e.g. a timeout racing an Event fire)
+// is skipped instead of waking an unrelated, later wait of the same process.
+type waiter struct {
+	p     *Proc
+	woken bool
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	w   *waiter
+	rsn int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use from multiple OS threads; all interaction happens either
+// from the goroutine calling Run or from the single currently-running Proc.
+type Engine struct {
+	now    Time
+	eq     eventQueue
+	seq    uint64
+	yield  chan struct{} // running proc -> engine: "I parked or finished"
+	live   int           // procs that have been spawned and not yet finished
+	stop   bool
+	events uint64
+
+	// MaxEvents bounds the total number of processed wake events; zero means
+	// the default of 1<<40. Exceeding it aborts Run with ErrEventLimit.
+	MaxEvents uint64
+	// Deadline bounds simulated time; zero means no deadline. An event
+	// scheduled past the deadline aborts Run with ErrDeadline.
+	Deadline Time
+
+	procs []*Proc // all spawned procs, for diagnostics and shutdown
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of wake events processed so far.
+func (e *Engine) Events() uint64 { return e.events }
+
+// Spawn registers fn as a new process named name. The process starts running
+// at the current simulated time, after already-pending events at that time.
+// Spawn may be called before Run or from within a running process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan int),
+	}
+	e.live++
+	p.parked = true
+	p.blockedOn = "spawn"
+	e.procs = append(e.procs, p)
+	w := &waiter{p: p}
+	e.schedule(e.now, w, reasonEvent)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errKilled {
+					p.done = true
+					e.yield <- struct{}{}
+					return
+				}
+				p.panicked = r
+			}
+			p.done = true
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		<-p.resume // wait for first scheduling
+		fn(p)
+	}()
+	return p
+}
+
+// schedule enqueues a wake for w at time at.
+func (e *Engine) schedule(at Time, w *waiter, rsn int) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.eq, event{at: at, seq: e.seq, w: w, rsn: rsn})
+}
+
+// Stop requests that Run return after the calling process next parks or
+// finishes. Remaining processes stay parked and are reclaimed by Shutdown.
+func (e *Engine) Stop() { e.stop = true }
+
+// Run executes the simulation until all processes finish, a process calls
+// Stop, the event budget or deadline is exceeded, or a deadlock is detected.
+func (e *Engine) Run() error {
+	maxEvents := e.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1 << 40
+	}
+	for {
+		if e.stop {
+			return nil
+		}
+		if e.live == 0 {
+			return e.firstPanic()
+		}
+		if len(e.eq) == 0 {
+			return e.deadlockError()
+		}
+		ev := heap.Pop(&e.eq).(event)
+		if ev.w.woken {
+			continue // stale wake (e.g. timeout lost to an Event fire)
+		}
+		if e.Deadline != 0 && ev.at > e.Deadline {
+			return fmt.Errorf("%w (at %v)", ErrDeadline, ev.at)
+		}
+		e.events++
+		if e.events > maxEvents {
+			return fmt.Errorf("%w (%d events)", ErrEventLimit, maxEvents)
+		}
+		e.now = ev.at
+		ev.w.woken = true
+		ev.w.p.parked = false
+		ev.w.p.resume <- ev.rsn
+		<-e.yield
+		if p := e.firstPanic(); p != nil {
+			return p
+		}
+	}
+}
+
+// Shutdown kills all parked processes so their goroutines exit. It must be
+// called after Run returns, never concurrently with it.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if !p.done && p.parked {
+			p.parked = false
+			p.resume <- reasonKill
+			<-e.yield
+		}
+	}
+}
+
+func (e *Engine) firstPanic() error {
+	for _, p := range e.procs {
+		if p.panicked != nil {
+			return fmt.Errorf("simtime: process %q panicked: %v", p.name, p.panicked)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.done && p.parked {
+			stuck = append(stuck, p.name+" ("+p.blockedOn+")")
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("%w: %v", ErrDeadlock, stuck)
+}

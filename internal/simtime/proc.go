@@ -1,0 +1,114 @@
+package simtime
+
+import "errors"
+
+// errKilled is panicked inside a parked process during Engine.Shutdown so the
+// goroutine unwinds and exits.
+var errKilled = errors.New("simtime: process killed by shutdown")
+
+// Proc is one simulated process. Proc methods must only be called by the
+// process itself while it is the running process; the engine guarantees that
+// at most one process runs at a time.
+type Proc struct {
+	eng       *Engine
+	name      string
+	resume    chan int
+	done      bool
+	parked    bool
+	blockedOn string // human-readable label for deadlock diagnostics
+	panicked  interface{}
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park hands control back to the engine and blocks until a wake event for
+// this process is delivered. It returns the wake reason.
+func (p *Proc) park(label string) int {
+	p.parked = true
+	p.blockedOn = label
+	p.eng.yield <- struct{}{}
+	r := <-p.resume
+	if r == reasonKill {
+		panic(errKilled)
+	}
+	return r
+}
+
+// Sleep suspends the process for d of simulated time. Non-positive durations
+// still yield to the scheduler (other events at the current time run first).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w := &waiter{p: p}
+	p.eng.schedule(p.eng.now.Add(d), w, reasonTimer)
+	p.park("sleep")
+}
+
+// Yield reschedules the process at the current time behind already-pending
+// events, giving other runnable processes a chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Spawn starts a child process; sugar for p.Engine().Spawn.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.eng.Spawn(name, fn)
+}
+
+// Event is a one-shot broadcast synchronization point: processes Wait until
+// some process calls Fire, after which all current and future waiters pass
+// immediately. The zero value is not usable; create Events with NewEvent.
+type Event struct {
+	eng     *Engine
+	fired   bool
+	waiters []*waiter
+}
+
+// NewEvent returns an unfired event bound to the engine.
+func NewEvent(e *Engine) *Event { return &Event{eng: e} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire releases all waiters at the current simulated time. Firing an already
+// fired event is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		if !w.woken {
+			ev.eng.schedule(ev.eng.now, w, reasonEvent)
+		}
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires. Returns immediately if already fired.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	w := &waiter{p: p}
+	ev.waiters = append(ev.waiters, w)
+	p.park("event")
+}
+
+// WaitTimeout blocks p until the event fires or d elapses. It reports whether
+// the event fired (true) as opposed to the timeout expiring (false).
+func (ev *Event) WaitTimeout(p *Proc, d Duration) bool {
+	if ev.fired {
+		return true
+	}
+	w := &waiter{p: p}
+	ev.waiters = append(ev.waiters, w)
+	ev.eng.schedule(p.eng.now.Add(d), w, reasonTimer)
+	return p.park("event-timeout") == reasonEvent
+}

@@ -1,0 +1,96 @@
+package simtime
+
+// Queue is an unbounded FIFO message queue between simulated processes,
+// analogous to a Go channel. Push never blocks; Pop blocks while the queue is
+// empty. The zero value is not usable; create Queues with NewQueue.
+type Queue[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	head    int
+	waiters []*waiter
+}
+
+// NewQueue returns an empty queue bound to the engine. The name appears in
+// deadlock diagnostics.
+func NewQueue[T any](e *Engine, name string) *Queue[T] {
+	return &Queue[T]{eng: e, name: name}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// Push appends v and wakes one waiting consumer, if any. It may be called
+// from any running process (or before Run starts).
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+func (q *Queue[T]) wakeOne() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if !w.woken {
+			q.eng.schedule(q.eng.now, w, reasonEvent)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the oldest item, blocking p while the queue is
+// empty.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for q.Len() == 0 {
+		w := &waiter{p: p}
+		q.waiters = append(q.waiters, w)
+		p.park("queue " + q.name)
+	}
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append([]T(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	// More items may remain and more waiters may be parked (a woken waiter
+	// could have been overtaken); keep the wake chain going.
+	if q.Len() > 0 {
+		q.wakeOne()
+	}
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking. The second
+// result reports whether an item was available.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if q.Len() == 0 {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	return v, true
+}
+
+// PopTimeout is like Pop but gives up after d, returning ok=false.
+func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (T, bool) {
+	deadline := p.Now().Add(d)
+	for q.Len() == 0 {
+		remain := deadline.Sub(p.Now())
+		if remain <= 0 {
+			var zero T
+			return zero, false
+		}
+		w := &waiter{p: p}
+		q.waiters = append(q.waiters, w)
+		q.eng.schedule(deadline, w, reasonTimer)
+		if p.park("queue-timeout "+q.name) == reasonTimer && q.Len() == 0 {
+			var zero T
+			return zero, false
+		}
+	}
+	return q.Pop(p), true
+}

@@ -1,0 +1,137 @@
+package simtime
+
+import "testing"
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Push(i)
+			p.Sleep(10)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string](e, "q")
+	e.Spawn("consumer", func(p *Proc) {
+		v := q.Pop(p)
+		if v != "hello" {
+			t.Errorf("got %q", v)
+		}
+		if p.Now() != 25 {
+			t.Errorf("received at %v, want 25", p.Now())
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(25)
+		q.Push("hello")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueMultipleConsumers(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	sum := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("consumer", func(p *Proc) {
+			sum += q.Pop(p)
+		})
+	}
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(1)
+		q.Push(1)
+		q.Push(2)
+		q.Push(3)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum != 6 {
+		t.Fatalf("sum = %d, want 6", sum)
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	e.Spawn("main", func(p *Proc) {
+		if _, ok := q.TryPop(); ok {
+			t.Error("TryPop on empty queue returned ok")
+		}
+		q.Push(7)
+		v, ok := q.TryPop()
+		if !ok || v != 7 {
+			t.Errorf("TryPop = %d,%v want 7,true", v, ok)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueuePopTimeout(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	e.Spawn("consumer", func(p *Proc) {
+		if _, ok := q.PopTimeout(p, 10); ok {
+			t.Error("want timeout")
+		}
+		if p.Now() != 10 {
+			t.Errorf("timed out at %v, want 10", p.Now())
+		}
+		v, ok := q.PopTimeout(p, 100)
+		if !ok || v != 9 {
+			t.Errorf("PopTimeout = %d,%v want 9,true", v, ok)
+		}
+		if p.Now() != 40 {
+			t.Errorf("received at %v, want 40", p.Now())
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(40)
+		q.Push(9)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	e.Spawn("main", func(p *Proc) {
+		// Push/pop enough to trigger the internal head compaction.
+		for i := 0; i < 1000; i++ {
+			q.Push(i)
+			if v := q.Pop(p); v != i {
+				t.Fatalf("pop = %d, want %d", v, i)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("Len = %d, want 0", q.Len())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package simtime
+
+// Resource is a FIFO-served exclusive resource, used to model hardware units
+// that serve one request at a time, such as a PCIe link direction or a DMA
+// engine. Waiters are granted the resource strictly in arrival order, which
+// keeps simulations deterministic and models store-and-forward occupancy.
+type Resource struct {
+	eng   *Engine
+	name  string
+	busy  bool
+	queue []*waiter
+
+	// Stats.
+	acquisitions uint64
+	busyTime     Duration
+	lastAcquire  Time
+}
+
+// NewResource returns an idle resource bound to the engine.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{eng: e, name: name}
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// Acquisitions returns how many times the resource has been acquired.
+func (r *Resource) Acquisitions() uint64 { return r.acquisitions }
+
+// BusyTime returns the cumulative simulated time the resource was held.
+func (r *Resource) BusyTime() Duration { return r.busyTime }
+
+// Acquire blocks p until it holds the resource.
+func (r *Resource) Acquire(p *Proc) {
+	if !r.busy && len(r.queue) == 0 {
+		r.busy = true
+		r.acquisitions++
+		r.lastAcquire = p.Now()
+		return
+	}
+	w := &waiter{p: p}
+	r.queue = append(r.queue, w)
+	p.park("resource " + r.name)
+	// Release transferred ownership to us before waking us.
+	r.acquisitions++
+	r.lastAcquire = p.Now()
+}
+
+// Release hands the resource to the next waiter, or marks it idle.
+func (r *Resource) Release(p *Proc) {
+	if !r.busy {
+		panic("simtime: Release of idle resource " + r.name)
+	}
+	r.busyTime += p.Now().Sub(r.lastAcquire)
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		if !w.woken {
+			// Ownership transfers directly; busy stays true.
+			r.eng.schedule(r.eng.now, w, reasonEvent)
+			return
+		}
+	}
+	r.busy = false
+}
+
+// Use acquires the resource, holds it for d of simulated time, and releases
+// it. This is the common pattern for serialization delays.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p)
+}

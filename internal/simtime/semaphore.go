@@ -1,0 +1,90 @@
+package simtime
+
+// Semaphore is a FIFO-served counting resource, used to model pooled
+// hardware units such as the eight cores of a Vector Engine: acquirers take
+// a number of units and block until that many are free, strictly in arrival
+// order (no overtaking, so simulations stay deterministic and small
+// requests cannot starve large ones).
+type Semaphore struct {
+	eng   *Engine
+	name  string
+	total int
+	free  int
+	queue []semWaiter
+}
+
+type semWaiter struct {
+	w *waiter
+	n int
+}
+
+// NewSemaphore returns a semaphore with the given number of units.
+func NewSemaphore(e *Engine, name string, units int) *Semaphore {
+	if units <= 0 {
+		panic("simtime: semaphore " + name + " needs at least one unit")
+	}
+	return &Semaphore{eng: e, name: name, total: units, free: units}
+}
+
+// Total returns the unit count.
+func (s *Semaphore) Total() int { return s.total }
+
+// Free returns the currently available units.
+func (s *Semaphore) Free() int { return s.free }
+
+// Acquire blocks p until n units are available and takes them. Requests for
+// more than the total are clamped (they would otherwise never complete).
+func (s *Semaphore) Acquire(p *Proc, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.total {
+		n = s.total
+	}
+	// FIFO: even if units are free, queued earlier requests go first.
+	if len(s.queue) == 0 && s.free >= n {
+		s.free -= n
+		return n
+	}
+	w := &waiter{p: p}
+	s.queue = append(s.queue, semWaiter{w: w, n: n})
+	p.park("semaphore " + s.name)
+	// grant() already deducted our units before waking us.
+	return n
+}
+
+// Release returns n units and grants queued requests in order.
+func (s *Semaphore) Release(n int) {
+	if n < 1 {
+		return
+	}
+	s.free += n
+	if s.free > s.total {
+		panic("simtime: semaphore " + s.name + " over-released")
+	}
+	s.grant()
+}
+
+// grant wakes queued requests from the front while units suffice.
+func (s *Semaphore) grant() {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if head.w.woken {
+			s.queue = s.queue[1:]
+			continue
+		}
+		if s.free < head.n {
+			return
+		}
+		s.free -= head.n
+		s.queue = s.queue[1:]
+		s.eng.schedule(s.eng.now, head.w, reasonEvent)
+	}
+}
+
+// Use acquires n units, holds them for d, and releases them.
+func (s *Semaphore) Use(p *Proc, n int, d Duration) {
+	got := s.Acquire(p, n)
+	p.Sleep(d)
+	s.Release(got)
+}

@@ -1,0 +1,139 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{3 * Nanosecond, "3ns"},
+		{6100 * Nanosecond, "6.1us"},
+		{432 * Microsecond, "432us"},
+		{15 * Millisecond, "15ms"},
+		{2 * Second, "2s"},
+		{-3 * Nanosecond, "-3ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestBytesOver(t *testing.T) {
+	// 1 GiB at 1 GiB/s is exactly one second.
+	gib := int64(1) << 30
+	if d := BytesOver(gib, float64(gib)); d != Second {
+		t.Errorf("BytesOver(1GiB, 1GiB/s) = %v, want 1s", d)
+	}
+	if d := BytesOver(0, 1e9); d != 0 {
+		t.Errorf("BytesOver(0) = %v, want 0", d)
+	}
+	if d := BytesOver(-5, 1e9); d != 0 {
+		t.Errorf("BytesOver(-5) = %v, want 0", d)
+	}
+	// Rounds up: 1 byte at an enormous rate still costs at least 1 ps.
+	if d := BytesOver(1, 1e15); d < 1 {
+		t.Errorf("BytesOver(1, 1e15) = %v, want >= 1ps", d)
+	}
+}
+
+func TestTimeAddSub(t *testing.T) {
+	tm := Time(100)
+	if tm.Add(50) != Time(150) {
+		t.Error("Add failed")
+	}
+	if Time(150).Sub(tm) != 50 {
+		t.Error("Sub failed")
+	}
+}
+
+// Property: BytesOver is monotonic in n and never undershoots the exact
+// rational value.
+func TestBytesOverMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32, rateMBs uint16) bool {
+		rate := float64(rateMBs%1000+1) * 1e6
+		n, m := int64(a%(1<<26)), int64(b%(1<<26))
+		if n > m {
+			n, m = m, n
+		}
+		dn, dm := BytesOver(n, rate), BytesOver(m, rate)
+		if dn > dm {
+			return false
+		}
+		exact := float64(n) * float64(Second) / rate
+		return float64(dn) >= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: processes sleeping for arbitrary durations always observe a
+// non-decreasing clock equal to the sum of their sleeps.
+func TestSleepAccumulationProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		ok := true
+		e.Spawn("p", func(p *Proc) {
+			var total Duration
+			for _, r := range raw {
+				d := Duration(r)
+				total += d
+				p.Sleep(d)
+				if p.Now() != Time(total) {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: N processes each sleeping a random duration wake in sorted order
+// of duration (ties broken by spawn order).
+func TestWakeOrderProperty(t *testing.T) {
+	f := func(durs []uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 50 {
+			durs = durs[:50]
+		}
+		e := NewEngine()
+		var woke []int
+		for i, d := range durs {
+			i, d := i, d
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(Duration(d))
+				woke = append(woke, i)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		// Verify sorted by (duration, index).
+		for k := 1; k < len(woke); k++ {
+			a, b := woke[k-1], woke[k]
+			if durs[a] > durs[b] || (durs[a] == durs[b] && a > b) {
+				return false
+			}
+		}
+		return len(woke) == len(durs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

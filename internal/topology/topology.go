@@ -1,0 +1,190 @@
+// Package topology describes the hardware structure of a simulated NEC
+// SX-Aurora TSUBASA system: sockets, the UPI inter-socket link, PCIe
+// switches, and Vector Engine (VE) cards, together with the component specs
+// from Table I and the system configuration from Table III of the paper.
+package topology
+
+import (
+	"fmt"
+
+	"hamoffload/internal/units"
+)
+
+// CPUSpec describes one Vector Host CPU socket (Table I, left column).
+type CPUSpec struct {
+	Model           string
+	Cores           int
+	Threads         int
+	VectorWidthF64  int // doubles per SIMD vector
+	ClockGHz        float64
+	PeakGFLOPS      float64
+	MaxMemory       units.Bytes
+	MemoryBandwidth units.Bytes // per second, decimal GB in the paper
+	LastLevelCache  units.Bytes
+	TDPWatts        int
+}
+
+// VESpec describes one Vector Engine card (Table I, right column).
+type VESpec struct {
+	Model           string
+	Cores           int
+	Threads         int
+	VectorWidthF64  int // 256 doubles, explicit vector-length register
+	ClockGHz        float64
+	PeakGFLOPS      float64
+	MaxMemory       units.Bytes
+	MemoryBandwidth units.Bytes // per second
+	LastLevelCache  units.Bytes
+	TDPWatts        int
+	// Microarchitecture details from §I-B used by the vecore cost model.
+	VectorRegisters int         // 64 per core
+	FMAPipes        int         // 3 FMA vector units per core
+	ALUPipes        int         // 2 fixed-point/logical vector units per core
+	SIMDLanes       int         // 32-fold SIMD processing of a vector register
+	PipelineDepth   int         // 8 steps
+	MaxDMAPayload   units.Bytes // 256 B max PCIe payload for the VE
+}
+
+// XeonGold6126 returns the VH CPU spec from Table I.
+func XeonGold6126() CPUSpec {
+	return CPUSpec{
+		Model:           "Intel Xeon Gold 6126",
+		Cores:           12,
+		Threads:         24,
+		VectorWidthF64:  8,
+		ClockGHz:        2.6,
+		PeakGFLOPS:      998.4,
+		MaxMemory:       384 * units.GiB,
+		MemoryBandwidth: 128 * units.GB,
+		LastLevelCache:  units.Bytes(19.25 * float64(units.MiB)),
+		TDPWatts:        125,
+	}
+}
+
+// VEType10B returns the VE spec from Table I.
+func VEType10B() VESpec {
+	return VESpec{
+		Model:           "NEC VE Type 10B",
+		Cores:           8,
+		Threads:         8,
+		VectorWidthF64:  256,
+		ClockGHz:        1.4,
+		PeakGFLOPS:      2150.4,
+		MaxMemory:       48 * units.GiB,
+		MemoryBandwidth: units.Bytes(1228.8 * float64(units.GB)),
+		LastLevelCache:  16 * units.MiB,
+		TDPWatts:        300,
+		VectorRegisters: 64,
+		FMAPipes:        3,
+		ALUPipes:        2,
+		SIMDLanes:       32,
+		PipelineDepth:   8,
+		MaxDMAPayload:   256 * units.B,
+	}
+}
+
+// System describes a whole VH+VE node (Fig. 3 / Table III).
+type System struct {
+	Name       string
+	Sockets    []Socket
+	Switches   []PCIeSwitch
+	VEs        []VESlot
+	VHMemory   units.Bytes
+	VHOS       string
+	VHCompiler string
+	VEOSVer    string
+	VEOVer     string
+	VECompiler string
+}
+
+// Socket is one VH CPU socket.
+type Socket struct {
+	ID  int
+	CPU CPUSpec
+}
+
+// PCIeSwitch connects a group of VEs to one socket's PCIe root complex.
+type PCIeSwitch struct {
+	ID     int
+	Socket int
+}
+
+// VESlot is one VE card and its position in the PCIe topology.
+type VESlot struct {
+	ID     int
+	Switch int
+	Spec   VESpec
+}
+
+// A300_8 returns the NEC SX-Aurora TSUBASA A300-8 benchmark system used in
+// the paper: 2 Xeon Gold 6126 sockets, 192 GiB DDR4, 8 VE Type 10B cards
+// behind two PCIe switches (4 VEs each, one switch per socket), software
+// versions as in Table III.
+func A300_8() *System {
+	s := &System{
+		Name:       "NEC SX-Aurora TSUBASA A300-8",
+		VHMemory:   192 * units.GiB,
+		VHOS:       "CentOS Linux release 7.6.1810, kernel 3.10.0-693",
+		VHCompiler: "GCC 4.8.5",
+		VEOSVer:    "1.3.2-4dma",
+		VEOVer:     "1.3.2a",
+		VECompiler: "NEC NCC 1.6.0",
+	}
+	for i := 0; i < 2; i++ {
+		s.Sockets = append(s.Sockets, Socket{ID: i, CPU: XeonGold6126()})
+		s.Switches = append(s.Switches, PCIeSwitch{ID: i, Socket: i})
+	}
+	for i := 0; i < 8; i++ {
+		s.VEs = append(s.VEs, VESlot{ID: i, Switch: i / 4, Spec: VEType10B()})
+	}
+	return s
+}
+
+// SocketOfVE returns the socket whose PCIe root complex hosts VE ve.
+func (s *System) SocketOfVE(ve int) (int, error) {
+	if ve < 0 || ve >= len(s.VEs) {
+		return 0, fmt.Errorf("topology: no VE %d in %s", ve, s.Name)
+	}
+	sw := s.VEs[ve].Switch
+	if sw < 0 || sw >= len(s.Switches) {
+		return 0, fmt.Errorf("topology: VE %d references missing switch %d", ve, sw)
+	}
+	return s.Switches[sw].Socket, nil
+}
+
+// CrossesUPI reports whether a process pinned to socket must traverse the
+// UPI inter-socket link to reach VE ve (Fig. 3).
+func (s *System) CrossesUPI(socket, ve int) (bool, error) {
+	home, err := s.SocketOfVE(ve)
+	if err != nil {
+		return false, err
+	}
+	if socket < 0 || socket >= len(s.Sockets) {
+		return false, fmt.Errorf("topology: no socket %d in %s", socket, s.Name)
+	}
+	return home != socket, nil
+}
+
+// Validate checks the structural consistency of the system description.
+func (s *System) Validate() error {
+	if len(s.Sockets) == 0 {
+		return fmt.Errorf("topology: %s has no sockets", s.Name)
+	}
+	if len(s.VEs) == 0 {
+		return fmt.Errorf("topology: %s has no VEs", s.Name)
+	}
+	for _, sw := range s.Switches {
+		if sw.Socket < 0 || sw.Socket >= len(s.Sockets) {
+			return fmt.Errorf("topology: switch %d attached to missing socket %d", sw.ID, sw.Socket)
+		}
+	}
+	for _, ve := range s.VEs {
+		if ve.Switch < 0 || ve.Switch >= len(s.Switches) {
+			return fmt.Errorf("topology: VE %d attached to missing switch %d", ve.ID, ve.Switch)
+		}
+		if ve.Spec.Cores <= 0 || ve.Spec.MaxMemory <= 0 {
+			return fmt.Errorf("topology: VE %d has invalid spec", ve.ID)
+		}
+	}
+	return nil
+}

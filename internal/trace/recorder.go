@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hamoffload/internal/simtime"
+)
+
+// Span is one recorded operation on a simulated timeline.
+type Span struct {
+	Name  string
+	Cat   string // component category: "veo", "dma", "ham", ...
+	Tid   string // simulated process name
+	Start simtime.Time
+	End   simtime.Time
+}
+
+// Recorder collects spans from instrumented simulation components. A nil
+// *Recorder is valid and records nothing, so instrumentation sites need no
+// guards. The simulation is single-threaded per engine, so no locking is
+// needed.
+type Recorder struct {
+	spans []Span
+	limit int
+}
+
+// NewRecorder returns an empty recorder with the default 1M-span cap.
+func NewRecorder() *Recorder { return &Recorder{limit: 1 << 20} }
+
+// Span opens a span at the process's current time; invoke the returned
+// closure to close it. Usage:
+//
+//	defer t.Recorder.Span(p, "dma", "priv-dma-write")()
+func (r *Recorder) Span(p *simtime.Proc, cat, name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := p.Now()
+	return func() {
+		if len(r.spans) >= r.limit {
+			return
+		}
+		r.spans = append(r.spans, Span{
+			Name: name, Cat: cat, Tid: p.Name(), Start: start, End: p.Now(),
+		})
+	}
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Spans returns the recorded spans in recording order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ExportChrome writes the spans as a Chrome trace-event JSON array, loadable
+// in chrome://tracing or Perfetto. Timestamps are simulated microseconds.
+func (r *Recorder) ExportChrome(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("trace: exporting from a nil recorder")
+	}
+	tids := map[string]int{}
+	var events []chromeEvent
+	tidOf := func(name string) int {
+		id, ok := tids[name]
+		if !ok {
+			id = len(tids) + 1
+			tids[name] = id
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+				Args: map[string]any{"name": name},
+			})
+		}
+		return id
+	}
+	for _, s := range r.spans {
+		tid := tidOf(s.Tid)
+		dur := simtime.Duration(s.End - s.Start).Microseconds()
+		if dur <= 0 {
+			dur = 0.001
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: simtime.Duration(s.Start).Microseconds(), Dur: dur,
+			Pid: 1, Tid: tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,181 @@
+// Package trace provides lightweight instrumentation for the simulation and
+// the benchmark harness: named counters and log-scaled latency histograms
+// with exact min/max/mean and quantile estimates. Everything works on
+// simulated durations, so distributions are reproducible bit-for-bit.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"hamoffload/internal/simtime"
+)
+
+// Histogram accumulates durations in half-power-of-two buckets between 1 ns
+// and ~17 s, with exact extreme values and sums.
+type Histogram struct {
+	name    string
+	count   int64
+	sum     simtime.Duration
+	min     simtime.Duration
+	max     simtime.Duration
+	buckets [128]int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: math.MaxInt64}
+}
+
+// bucketOf maps a duration to a bucket index: 2 buckets per octave starting
+// at 1 ns.
+func bucketOf(d simtime.Duration) int {
+	ns := float64(d) / float64(simtime.Nanosecond)
+	if ns < 1 {
+		return 0
+	}
+	i := int(2 * math.Log2(ns))
+	if i < 0 {
+		i = 0
+	}
+	if i > 127 {
+		i = 127
+	}
+	return i
+}
+
+// bucketLow returns the lower bound of bucket i.
+func bucketLow(i int) simtime.Duration {
+	return simtime.Duration(math.Pow(2, float64(i)/2) * float64(simtime.Nanosecond))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d simtime.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[bucketOf(d)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() simtime.Duration { return h.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() simtime.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() simtime.Duration { return h.max }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() simtime.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / simtime.Duration(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1), resolved to
+// bucket granularity and clamped to the exact min/max.
+func (h *Histogram) Quantile(q float64) simtime.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := int64(q * float64(h.count))
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > rank {
+			est := bucketLow(i)
+			if est < h.min {
+				est = h.min
+			}
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// Render writes a human-readable summary plus a bar for every non-empty
+// bucket.
+func (h *Histogram) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: n=%d min=%v p50=%v p99=%v max=%v mean=%v\n",
+		h.name, h.count, h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max(), h.Mean())
+	if h.count == 0 {
+		return
+	}
+	var peak int64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		bar := int(float64(c) / float64(peak) * 40)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "  >=%-10v %8d |%s\n", bucketLow(i), c, strings.Repeat("#", bar))
+	}
+}
+
+// Counters is a registry of named event counters.
+type Counters struct {
+	m map[string]int64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters { return &Counters{m: map[string]int64{}} }
+
+// Add increments a counter by delta.
+func (c *Counters) Add(name string, delta int64) { c.m[name] += delta }
+
+// Get reads a counter (0 when never touched).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns all counter names, sorted.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Render writes all counters in sorted order.
+func (c *Counters) Render(w io.Writer) {
+	for _, n := range c.Names() {
+		fmt.Fprintf(w, "%-32s %12d\n", n, c.m[n])
+	}
+}

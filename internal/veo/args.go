@@ -1,0 +1,104 @@
+package veo
+
+import (
+	"fmt"
+	"math"
+
+	"hamoffload/internal/simtime"
+)
+
+// Args is the argument builder of the VEO API (veo_args_alloc /
+// veo_args_set_*): a typed stack of basic-type arguments for a VE function
+// call. The paper leans on exactly this restriction — "limited to a few
+// basic types for arguments and return types" (§V-A) — which is why
+// HAM-Offload's rich functor messages travel as data instead.
+type Args struct {
+	words []uint64
+}
+
+// MaxArgs caps the argument count, as libveo's register/stack convention
+// does.
+const MaxArgs = 32
+
+// NewArgs returns an empty argument stack (veo_args_alloc).
+func NewArgs() *Args { return &Args{} }
+
+// Len returns the number of set arguments.
+func (a *Args) Len() int { return len(a.words) }
+
+func (a *Args) push(v uint64) error {
+	if len(a.words) >= MaxArgs {
+		return fmt.Errorf("veo: more than %d call arguments", MaxArgs)
+	}
+	a.words = append(a.words, v)
+	return nil
+}
+
+// SetU64 appends an unsigned 64-bit argument (veo_args_set_u64).
+func (a *Args) SetU64(v uint64) error { return a.push(v) }
+
+// SetI64 appends a signed 64-bit argument (veo_args_set_i64).
+func (a *Args) SetI64(v int64) error { return a.push(uint64(v)) }
+
+// SetDouble appends a float64 argument (veo_args_set_double).
+func (a *Args) SetDouble(v float64) error { return a.push(math.Float64bits(v)) }
+
+// Words returns the raw 64-bit words in call order.
+func (a *Args) Words() []uint64 { return append([]uint64(nil), a.words...) }
+
+// CallAsyncArgs enqueues fn with a built argument stack, the veo_args form
+// of CallAsync.
+func (c *Context) CallAsyncArgs(p *simtime.Proc, fn Sym, args *Args) *Request {
+	return c.CallAsync(p, fn, args.Words()...)
+}
+
+// TransferRequest is an in-flight asynchronous memory transfer
+// (veo_async_read_mem / veo_async_write_mem). The transfer runs in its own
+// simulated process, overlapping with the caller's work, and serialises with
+// other privileged-DMA requests on the VE's engine.
+type TransferRequest struct {
+	done *simtime.Event
+	err  error
+}
+
+// Wait blocks until the transfer completed and returns its error
+// (veo_call_wait_result on the transfer's request id).
+func (r *TransferRequest) Wait(p *simtime.Proc) error {
+	r.done.Wait(p)
+	return r.err
+}
+
+// Peek reports completion without blocking.
+func (r *TransferRequest) Peek() (bool, error) {
+	if !r.done.Fired() {
+		return false, nil
+	}
+	return true, r.err
+}
+
+// AsyncWriteMem starts a veo_async_write_mem: n bytes from the VH buffer at
+// hostAddr into VE memory at veAddr, running concurrently with the caller.
+func (h *Proc) AsyncWriteMem(p *simtime.Proc, veAddr, hostAddr uint64, n int64) *TransferRequest {
+	return h.asyncXfer(p, func(tp *simtime.Proc) error {
+		return h.card.DMAWrite(tp, veAddr, hostAddr, n)
+	})
+}
+
+// AsyncReadMem starts a veo_async_read_mem: n bytes from VE memory at veAddr
+// into the VH buffer at hostAddr.
+func (h *Proc) AsyncReadMem(p *simtime.Proc, hostAddr, veAddr uint64, n int64) *TransferRequest {
+	return h.asyncXfer(p, func(tp *simtime.Proc) error {
+		return h.card.DMARead(tp, hostAddr, veAddr, n)
+	})
+}
+
+func (h *Proc) asyncXfer(p *simtime.Proc, op func(*simtime.Proc) error) *TransferRequest {
+	r := &TransferRequest{done: simtime.NewEvent(h.card.Eng)}
+	// Submission itself costs one library call on the issuing thread.
+	p.Sleep(h.card.Timing.VEOLibOverhead)
+	h.card.Eng.Spawn("veo-async-xfer", func(tp *simtime.Proc) {
+		r.err = op(tp)
+		r.done.Fire()
+	})
+	return r
+}

@@ -1,0 +1,192 @@
+package veos
+
+import (
+	"fmt"
+
+	"hamoffload/internal/dma"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/vecore"
+	"hamoffload/internal/vemem"
+)
+
+// Context is one VE-side execution thread (the analog of veo_thr_ctxt): a
+// simulated process that polls a command queue and runs kernels to
+// completion, one at a time. Multiple contexts on one process model VEO's
+// multi-context API; the HAM-Offload backend runs its message loop in one
+// while leaving others free.
+type Context struct {
+	id   int
+	proc *Process
+	cmdQ *simtime.Queue[*Command]
+	stop bool
+
+	udma  *dma.UserDMA
+	instr *dma.Instr
+
+	executed int64
+}
+
+// Command is one queued kernel invocation with its completion state.
+type Command struct {
+	Kernel Kernel
+	Args   []uint64
+
+	done   *simtime.Event
+	result uint64
+	err    error
+}
+
+// Done reports whether the command has finished.
+func (c *Command) Done() bool { return c.done.Fired() }
+
+// Result returns the kernel's return word and error; valid once Done.
+func (c *Command) Result() (uint64, error) { return c.result, c.err }
+
+// OpenContext spawns a new execution context on the VE process. The calling
+// VH process pays an IPC round trip for the thread creation.
+func (vp *Process) OpenContext(p *simtime.Proc) *Context {
+	t := vp.card.Timing
+	p.Sleep(2 * t.IPCUserVEOS)
+	ctx := &Context{
+		id:    len(vp.ctxs),
+		proc:  vp,
+		cmdQ:  simtime.NewQueue[*Command](vp.card.Eng, fmt.Sprintf("ve%d-ctx%d", vp.card.ID, len(vp.ctxs))),
+		udma:  dma.NewUserDMA(vp.card.Eng, fmt.Sprintf("ve%d-ctx%d", vp.card.ID, len(vp.ctxs)), t, vp.card.Mem.ATB(), vp.card.Path),
+		instr: dma.NewInstr(t, vp.card.Mem.ATB(), vp.card.Path),
+	}
+	vp.ctxs = append(vp.ctxs, ctx)
+	vp.card.Eng.Spawn(fmt.Sprintf("ve%d-worker%d", vp.card.ID, ctx.id), ctx.workerLoop)
+	return ctx
+}
+
+// Executed returns how many commands this context has completed.
+func (ctx *Context) Executed() int64 { return ctx.executed }
+
+// Process returns the VE process the context belongs to.
+func (ctx *Context) Process() *Process { return ctx.proc }
+
+// workerLoop polls the command queue at the VEO command poll interval. So a
+// quiet VE does not flood the event queue, the interval backs off
+// exponentially — but only after a sustained idle period, so the hot path of
+// back-to-back offload benchmarks always sees the base interval.
+func (ctx *Context) workerLoop(p *simtime.Proc) {
+	t := ctx.proc.card.Timing
+	const (
+		backoffAfter = 500 * simtime.Microsecond
+		maxBackoff   = 128
+	)
+	interval := t.VEOCmdPollInterval
+	var idle simtime.Duration
+	for !ctx.stop {
+		cmd, ok := ctx.cmdQ.TryPop()
+		if !ok {
+			p.Sleep(interval)
+			idle += interval
+			if idle >= backoffAfter && interval < t.VEOCmdPollInterval*maxBackoff {
+				interval *= 2
+			}
+			continue
+		}
+		interval = t.VEOCmdPollInterval
+		idle = 0
+		end := t.Recorder.Span(p, "veo", "ve-kernel")
+		p.Sleep(t.VEOCallDispatchVE)
+		kctx := &Ctx{P: p, Context: ctx}
+		cmd.result, cmd.err = cmd.Kernel(kctx, cmd.Args)
+		end()
+		ctx.executed++
+		cmd.done.Fire()
+	}
+}
+
+// Submit enqueues a kernel invocation from the VH side (veo_call_async).
+// The caller pays the VH-side submission chain; the command then travels the
+// PCIe doorbell path and becomes visible to the worker.
+func (ctx *Context) Submit(p *simtime.Proc, k Kernel, args []uint64) *Command {
+	t := ctx.proc.card.Timing
+	defer t.Recorder.Span(p, "veo", "veo_call_async")()
+	p.Sleep(t.VEOLibOverhead + t.VEOCallSubmit + t.IPCUserVEOS + t.DriverHop +
+		ctx.proc.card.Path.OneWayLatency())
+	cmd := &Command{
+		Kernel: k,
+		Args:   args,
+		done:   simtime.NewEvent(ctx.proc.card.Eng),
+	}
+	ctx.cmdQ.Push(cmd)
+	return cmd
+}
+
+// Wait blocks the VH process until the command completes, polling at the
+// result poll interval, then pays the result return path.
+func (ctx *Context) Wait(p *simtime.Proc, cmd *Command) (uint64, error) {
+	t := ctx.proc.card.Timing
+	for !cmd.done.Fired() {
+		p.Sleep(t.VEOResultPollInterval)
+	}
+	p.Sleep(t.IPCUserVEOS + t.VEOLibOverhead)
+	return cmd.result, cmd.err
+}
+
+// Ctx is the environment passed to a running kernel: the simulated process
+// it runs on and the VE facilities it may use. It is the simulation analog
+// of "code compiled for the VE": user DMA, LHM/SHM, local memory, the
+// roofline cost model, and reverse-offloaded syscalls.
+type Ctx struct {
+	P       *simtime.Proc
+	Context *Context
+}
+
+// VE returns the local VE memory system.
+func (c *Ctx) VE() *vemem.VE { return c.Context.proc.card.Mem }
+
+// UserDMA returns this context's user DMA engine.
+func (c *Ctx) UserDMA() *dma.UserDMA { return c.udma() }
+
+func (c *Ctx) udma() *dma.UserDMA { return c.Context.udma }
+
+// Instr returns this context's LHM/SHM instruction unit.
+func (c *Ctx) Instr() *dma.Instr { return c.Context.instr }
+
+// Model returns the VE execution cost model.
+func (c *Ctx) Model() vecore.Model { return c.Context.proc.model }
+
+// ChargeVector advances simulated time by the roofline cost of a vectorised
+// kernel region (flops floating-point ops, bytes of HBM traffic, cores VE
+// cores). The cores are held for the region's duration, so concurrent
+// kernels on one VE contend for them like real threads would.
+func (c *Ctx) ChargeVector(flops, bytes int64, cores int) {
+	pool := c.Context.proc.card.Cores
+	got := pool.Acquire(c.P, cores)
+	c.P.Sleep(c.Model().VectorTime(flops, bytes, got))
+	pool.Release(got)
+}
+
+// ChargeScalar advances simulated time by ops scalar instructions on one
+// core.
+func (c *Ctx) ChargeScalar(ops int64) {
+	pool := c.Context.proc.card.Cores
+	got := pool.Acquire(c.P, 1)
+	c.P.Sleep(c.Model().ScalarTime(ops))
+	pool.Release(got)
+}
+
+// Syscall performs a reverse-offloaded system call serviced by the VH
+// pseudo-process, with body being the VH-side service time.
+func (c *Ctx) Syscall(body simtime.Duration) {
+	c.P.Sleep(c.Context.proc.card.Timing.SyscallRoundTrip + body)
+	c.Context.proc.syscalls++
+}
+
+// VHCall synchronously invokes a registered VH-side handler from VE code —
+// the platform's VHcall mechanism. The cost is a syscall-style round trip;
+// the handler runs in the VH pseudo-process's context.
+func (c *Ctx) VHCall(name string, args ...uint64) (uint64, error) {
+	card := c.Context.proc.card
+	h, ok := card.vhcalls[name]
+	if !ok {
+		return 0, fmt.Errorf("veos: VHcall %q not registered on VE %d", name, card.ID)
+	}
+	c.P.Sleep(card.Timing.SyscallRoundTrip)
+	c.Context.proc.syscalls++
+	return h(c.P, args)
+}

@@ -1,0 +1,218 @@
+// Package veos models the Vector Engine Operating System layer of the
+// SX-Aurora platform (paper §I-B): the per-VE veos daemon with its DMA
+// manager, the per-process VH pseudo-process that services syscalls, and the
+// VE-side execution contexts that pop and run offloaded commands. The VEs
+// run no kernel of their own — every OS interaction crosses PCIe to the VH,
+// which is exactly where the privileged-DMA latency of the VEO protocol
+// comes from.
+package veos
+
+import (
+	"fmt"
+
+	"hamoffload/internal/dma"
+	"hamoffload/internal/hostmem"
+	"hamoffload/internal/mem"
+	"hamoffload/internal/pcie"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/vecore"
+	"hamoffload/internal/vemem"
+)
+
+// Kernel is a function loadable into a VE process — the simulation's stand-in
+// for a symbol in an NCC-compiled VE shared library. Arguments and the return
+// value are raw 64-bit words, matching VEO's restriction to basic types.
+type Kernel func(ctx *Ctx, args []uint64) (uint64, error)
+
+// Library is a named symbol table, the analog of a .so built for the VE.
+type Library map[string]Kernel
+
+// Card bundles one VE's hardware and OS state: its memory, privileged DMA
+// engine (driven by the veos daemon), PCIe link, and at most one VE process.
+type Card struct {
+	ID     int
+	Eng    *simtime.Engine
+	Timing topology.Timing
+	Mem    *vemem.VE
+	Priv   *dma.Privileged
+	Path   pcie.Path // daemon-socket → VE route
+	Host   *hostmem.Host
+	// Cores arbitrates the VE's compute cores between concurrently running
+	// kernels (contexts): a kernel charging work on n cores holds n units
+	// for its duration, so full-width kernels serialise while narrower ones
+	// overlap — VEOS's scheduling responsibility (§I-B) at kernel grain.
+	Cores *simtime.Semaphore
+
+	proc    *Process
+	vhcalls map[string]VHHandler
+}
+
+// VHHandler is a VH-side function callable from VE code via VHcall.
+type VHHandler func(p *simtime.Proc, args []uint64) (uint64, error)
+
+// RegisterVHCall publishes a VH-side handler under name, making it callable
+// from VE kernels through Ctx.VHCall (the platform's reverse-offload
+// mechanism with syscall semantics, §I-B).
+func (c *Card) RegisterVHCall(name string, h VHHandler) {
+	if c.vhcalls == nil {
+		c.vhcalls = make(map[string]VHHandler)
+	}
+	c.vhcalls[name] = h
+}
+
+// NewCard assembles a VE card. The privileged DMA engine translates with
+// mode over the host's page size.
+func NewCard(eng *simtime.Engine, id int, t topology.Timing, host *hostmem.Host,
+	veMem *vemem.VE, path pcie.Path, mode dma.TranslateMode) *Card {
+	name := fmt.Sprintf("ve%d", id)
+	return &Card{
+		ID:     id,
+		Eng:    eng,
+		Timing: t,
+		Mem:    veMem,
+		Priv: dma.NewPrivileged(eng, name, t, mode, host.PageSize.Int64(),
+			path, host.Mem, veMem.HBM),
+		Path:  path,
+		Host:  host,
+		Cores: simtime.NewSemaphore(eng, name+"-cores", topology.VEType10B().Cores),
+	}
+}
+
+// Process returns the running VE process, if any.
+func (c *Card) Process() *Process { return c.proc }
+
+// CreateProcess boots a VE process on the card (veos work: load the loader,
+// set up memory management). The calling process p is the VH program; it
+// blocks for the creation time. Only one process per card is modelled, like
+// the dedicated-VE usage in the paper's benchmarks.
+func (c *Card) CreateProcess(p *simtime.Proc) (*Process, error) {
+	if c.proc != nil {
+		return nil, fmt.Errorf("veos: VE %d already runs a process", c.ID)
+	}
+	p.Sleep(c.Timing.ProcCreate)
+	vp := &Process{
+		card:  c,
+		libs:  make(map[string]Library),
+		model: vecore.DefaultModel(),
+	}
+	c.proc = vp
+	return vp, nil
+}
+
+// DestroyProcess tears the VE process down; its contexts stop after their
+// current command.
+func (c *Card) DestroyProcess(p *simtime.Proc) error {
+	if c.proc == nil {
+		return fmt.Errorf("veos: VE %d runs no process", c.ID)
+	}
+	for _, ctx := range c.proc.ctxs {
+		ctx.stop = true
+	}
+	c.proc = nil
+	return nil
+}
+
+// DMAWrite services a veo_write_mem: the VH process p pays the user-space
+// library cost and the IPC into the veos daemon, whose DMA manager performs
+// the privileged transfer of n bytes from VH hostAddr into VE veAddr.
+func (c *Card) DMAWrite(p *simtime.Proc, veAddr, hostAddr uint64, n int64) error {
+	defer c.Timing.Recorder.Span(p, "veo", "veo_write_mem")()
+	p.Sleep(c.Timing.VEOLibOverhead + c.Timing.IPCUserVEOS + c.Timing.DriverHop)
+	if err := c.Priv.Write(p, memAddr(veAddr), memAddr(hostAddr), n); err != nil {
+		return err
+	}
+	p.Sleep(c.Timing.IPCUserVEOS)
+	return nil
+}
+
+// DMARead services a veo_read_mem: n bytes from VE veAddr into VH hostAddr.
+func (c *Card) DMARead(p *simtime.Proc, hostAddr, veAddr uint64, n int64) error {
+	defer c.Timing.Recorder.Span(p, "veo", "veo_read_mem")()
+	p.Sleep(c.Timing.VEOLibOverhead + c.Timing.IPCUserVEOS + c.Timing.DriverHop)
+	if err := c.Priv.Read(p, memAddr(hostAddr), memAddr(veAddr), n); err != nil {
+		return err
+	}
+	p.Sleep(c.Timing.IPCUserVEOS)
+	return nil
+}
+
+// Process is one VE process: loaded libraries, HBM allocations, and its
+// execution contexts.
+type Process struct {
+	card  *Card
+	libs  map[string]Library
+	ctxs  []*Context
+	model vecore.Model
+
+	syscalls int64
+}
+
+// Card returns the card the process runs on.
+func (vp *Process) Card() *Card { return vp.card }
+
+// Model returns the process's VE execution cost model.
+func (vp *Process) Model() vecore.Model { return vp.model }
+
+// globalLibs is the registry of "compiled" VE libraries. Registering a
+// library is the simulation analog of building a .so with NCC; loading it
+// into a process charges the dlopen cost.
+var globalLibs = map[string]Library{}
+
+// RegisterLibrary publishes a library so processes can load it by name.
+// Typically called from init functions, mirroring static registration of
+// compiled artifacts. Re-registering a name overwrites it (like replacing a
+// .so on disk).
+func RegisterLibrary(name string, lib Library) {
+	cp := make(Library, len(lib))
+	for k, v := range lib {
+		cp[k] = v
+	}
+	globalLibs[name] = cp
+}
+
+// LoadLibrary loads a registered library into the process, charging the
+// dlopen-on-VE cost proportional to the symbol count.
+func (vp *Process) LoadLibrary(p *simtime.Proc, name string) error {
+	lib, ok := globalLibs[name]
+	if !ok {
+		return fmt.Errorf("veos: library %q not registered", name)
+	}
+	t := vp.card.Timing
+	p.Sleep(t.LoadLibraryBase + simtime.Duration(len(lib))*t.LoadLibraryPerKiB)
+	vp.libs[name] = lib
+	return nil
+}
+
+// FindSymbol resolves a kernel by symbol name across loaded libraries,
+// charging the lookup cost.
+func (vp *Process) FindSymbol(p *simtime.Proc, sym string) (Kernel, error) {
+	p.Sleep(vp.card.Timing.GetSym)
+	for _, lib := range vp.libs {
+		if k, ok := lib[sym]; ok {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("veos: symbol %q not found in loaded libraries", sym)
+}
+
+// AllocMem allocates n bytes of HBM on behalf of the VH (veo_alloc_mem):
+// an IPC round trip plus allocator work.
+func (vp *Process) AllocMem(p *simtime.Proc, n int64) (uint64, error) {
+	p.Sleep(vp.card.Timing.AllocMem)
+	addr, err := vp.card.Mem.Alloc(n)
+	return uint64(addr), err
+}
+
+// FreeMem frees a veo_alloc_mem allocation.
+func (vp *Process) FreeMem(p *simtime.Proc, addr uint64) error {
+	p.Sleep(vp.card.Timing.AllocMem)
+	return vp.card.Mem.Free(memAddr(addr))
+}
+
+// Syscalls returns how many reverse-offloaded system calls the process made.
+func (vp *Process) Syscalls() int64 { return vp.syscalls }
+
+// memAddr converts the raw 64-bit addresses used at the VEO API surface into
+// typed simulation addresses.
+func memAddr(a uint64) mem.Addr { return mem.Addr(a) }

@@ -1,0 +1,218 @@
+// Package machine assembles simulated NEC SX-Aurora TSUBASA systems and
+// wires HAM-Offload applications onto them. It is the public entry point for
+// running offload programs against the simulated A300-8: create a Machine,
+// run the host program as a simulated process, and connect to the Vector
+// Engines through either of the paper's two protocols.
+//
+//	m, _ := machine.New(machine.Config{VEs: 1})
+//	err := m.RunMain(func(p *machine.Proc) error {
+//	    rt, _ := machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+//	    defer rt.Finalize()
+//	    // offload.Allocate / Put / Async / ...
+//	    return nil
+//	})
+package machine
+
+import (
+	"fmt"
+
+	"hamoffload/internal/backend/dmab"
+	"hamoffload/internal/backend/veob"
+	"hamoffload/internal/core"
+	"hamoffload/internal/dma"
+	"hamoffload/internal/hostmem"
+	"hamoffload/internal/pcie"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/units"
+	"hamoffload/internal/vemem"
+	"hamoffload/internal/veos"
+)
+
+// Proc is a simulated process; the host program receives one and passes it
+// to every blocking machine operation.
+type Proc = simtime.Proc
+
+// Duration is simulated time in picoseconds.
+type Duration = simtime.Duration
+
+// Common durations for configuring and measuring simulated time.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+)
+
+// Config selects the simulated system and its operating parameters.
+type Config struct {
+	// VEs is the number of Vector Engine cards to attach (1..8, default 1).
+	VEs int
+	// Socket pins the VH process (0 or 1, default 0). Offloading from
+	// socket 1 to VE 0 crosses the UPI link (§V-A).
+	Socket int
+	// HugePages uses 2 MiB host pages for DMA translation when true
+	// (the default, as the paper requires for peak bandwidth); false uses
+	// 4 KiB pages.
+	HugePages *bool
+	// NaiveDMAManager disables the VEOS 1.3.2-4dma bulk translation,
+	// reverting to per-page translation (the A3 ablation).
+	NaiveDMAManager bool
+	// HostMemoryBytes sizes the VH heap (default 8 GiB of address space;
+	// memory is lazily backed).
+	HostMemoryBytes int64
+	// VEMemoryBytes sizes each VE's HBM (default the Type 10B's 48 GiB).
+	VEMemoryBytes int64
+	// Timing overrides the calibrated cost model; nil uses DefaultTiming.
+	Timing *topology.Timing
+}
+
+// Machine is one simulated SX-Aurora node: engine, fabric, host memory and
+// VE cards.
+type Machine struct {
+	Eng    *simtime.Engine
+	Sys    *topology.System
+	Timing topology.Timing
+	Fabric *pcie.Fabric
+	Host   *hostmem.Host
+	Cards  []*veos.Card
+	Socket int
+}
+
+// New builds a simulated A300-8 with cfg's parameters.
+func New(cfg Config) (*Machine, error) {
+	return newWithEngine(simtime.NewEngine(), "", cfg)
+}
+
+// newWithEngine builds a machine on an existing engine; prefix distinguishes
+// the memories of cluster nodes in diagnostics.
+func newWithEngine(eng *simtime.Engine, prefix string, cfg Config) (*Machine, error) {
+	if cfg.VEs == 0 {
+		cfg.VEs = 1
+	}
+	sys := topology.A300_8()
+	if cfg.VEs < 1 || cfg.VEs > len(sys.VEs) {
+		return nil, fmt.Errorf("machine: VEs must be 1..%d, got %d", len(sys.VEs), cfg.VEs)
+	}
+	if cfg.Socket < 0 || cfg.Socket >= len(sys.Sockets) {
+		return nil, fmt.Errorf("machine: socket must be 0..%d, got %d", len(sys.Sockets)-1, cfg.Socket)
+	}
+	timing := topology.DefaultTiming()
+	if cfg.Timing != nil {
+		timing = *cfg.Timing
+	}
+	if cfg.HugePages != nil && !*cfg.HugePages {
+		timing.HostPageSize = 4 * units.KiB
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	hostBytes := cfg.HostMemoryBytes
+	if hostBytes == 0 {
+		hostBytes = (8 * units.GiB).Int64()
+	}
+	veBytes := cfg.VEMemoryBytes
+	if veBytes == 0 {
+		veBytes = sys.VEs[0].Spec.MaxMemory.Int64()
+	}
+	mode := dma.TranslateBulk4DMA
+	if cfg.NaiveDMAManager {
+		mode = dma.TranslateNaive
+	}
+
+	fab, err := pcie.NewFabric(eng, sys, timing)
+	if err != nil {
+		return nil, err
+	}
+	host, err := hostmem.New(prefix+"vh", units.Bytes(hostBytes), timing.HostPageSize)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Eng: eng, Sys: sys, Timing: timing, Fabric: fab, Host: host, Socket: cfg.Socket}
+	for i := 0; i < cfg.VEs; i++ {
+		veMem, err := vemem.New(fmt.Sprintf("%sve%d", prefix, i), units.Bytes(veBytes))
+		if err != nil {
+			return nil, err
+		}
+		path, err := fab.PathFrom(cfg.Socket, i)
+		if err != nil {
+			return nil, err
+		}
+		m.Cards = append(m.Cards, veos.NewCard(eng, i, timing, host, veMem, path, mode))
+	}
+	return m, nil
+}
+
+// RunMain runs fn as the VH program process and drives the simulation until
+// it returns (or the simulation errors). It returns fn's error, or the
+// engine's.
+func (m *Machine) RunMain(fn func(p *Proc) error) error {
+	var appErr error
+	m.Eng.Spawn("vh-main", func(p *simtime.Proc) {
+		appErr = fn(p)
+		m.Eng.Stop()
+	})
+	runErr := m.Eng.Run()
+	m.Eng.Shutdown()
+	if appErr != nil {
+		return appErr
+	}
+	return runErr
+}
+
+// Now returns the machine's simulated clock.
+func (m *Machine) Now() Duration { return Duration(m.Eng.Now()) }
+
+// ProtocolOptions configures a HAM-Offload connection to the machine's VEs.
+type ProtocolOptions struct {
+	// NumBuffers is the number of message slots per direction (default 8).
+	NumBuffers int
+	// BufSize is the capacity of one message buffer (default 4 KiB).
+	BufSize int
+	// ResultInline is the inline result capacity per slot (default 248).
+	ResultInline int
+	// ResultViaDMA makes the DMA protocol return results through a user-DMA
+	// write instead of SHM word stores (an ablation; default false = SHM,
+	// which the paper found faster for small messages).
+	ResultViaDMA bool
+	// VEs limits the connection to the machine's first n cards (default all).
+	VEs int
+}
+
+func (o ProtocolOptions) cards(m *Machine) []*veos.Card {
+	if o.VEs <= 0 || o.VEs > len(m.Cards) {
+		return m.Cards
+	}
+	return m.Cards[:o.VEs]
+}
+
+// ConnectVEO sets up HAM-Offload over the paper's VEO protocol (§III-D):
+// communication buffers in VE memory, all transfers through privileged DMA.
+// It returns the host runtime; targets are nodes 1..VEs.
+func ConnectVEO(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error) {
+	b, err := veob.Connect(p, opts.cards(m), veob.Options{
+		NumBuffers:   opts.NumBuffers,
+		BufSize:      opts.BufSize,
+		ResultInline: opts.ResultInline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRuntime(b, "x86_64-vh"), nil
+}
+
+// ConnectDMA sets up HAM-Offload over the paper's DMA protocol (§IV-B):
+// communication buffers in a VH shared-memory segment, VE-initiated LHM
+// polls, user-DMA message fetches and SHM result stores.
+func ConnectDMA(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error) {
+	b, err := dmab.Connect(p, opts.cards(m), dmab.Options{
+		NumBuffers:   opts.NumBuffers,
+		BufSize:      opts.BufSize,
+		ResultInline: opts.ResultInline,
+		ResultViaDMA: opts.ResultViaDMA,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRuntime(b, "x86_64-vh"), nil
+}
