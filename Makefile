@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all test race bench repro examples fmt vet cover
+.PHONY: all check test race bench repro examples fmt vet cover
 
-all: vet test
+all: check
+
+# The full gate: static analysis plus the test suite under the race
+# detector (the wall-clock backends and the span tracer are concurrent).
+check: vet race
 
 test:
 	$(GO) test ./...

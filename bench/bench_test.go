@@ -315,7 +315,7 @@ func TestTraceOffloadsProducesChromeJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"veo_write_mem", "user-dma", "dmab-execute", "veob-execute", `"ph":"X"`} {
+	for _, want := range []string{"veo_write_mem", "user-dma", "dmab-poll-hit", "veob-poll-hit", "execute fn:bench.empty", `"ph":"X"`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("trace missing %q", want)
 		}

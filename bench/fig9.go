@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/veos"
 	"hamoffload/machine"
 	"hamoffload/offload"
@@ -16,6 +18,22 @@ type Fig9Config struct {
 	Socket int // CPU socket the VH process is pinned to (§V-A studies 1)
 	Reps   int // timed repetitions (default 100)
 	Warmup int // warm-up repetitions (default 10, as in the paper)
+	// Tracer, when non-nil, records the full offload lifecycle of every
+	// repetition (warm-ups included) as spans; nil keeps tracing off and the
+	// measured times bit-identical to the untraced run.
+	Tracer *trace.Tracer
+}
+
+// machineConfig assembles the machine parameters, attaching the span tracer
+// to the timing model when one is requested.
+func (c Fig9Config) machineConfig() machine.Config {
+	mcfg := machine.Config{VEs: 1, Socket: c.Socket}
+	if c.Tracer != nil {
+		timing := topology.DefaultTiming()
+		timing.Tracer = c.Tracer
+		mcfg.Timing = &timing
+	}
+	return mcfg
 }
 
 func (c *Fig9Config) fill() {
@@ -84,7 +102,7 @@ func Fig9(cfg Fig9Config) (Fig9Result, error) {
 // returns the average cost in microseconds of simulated time.
 func MeasureVEONative(cfg Fig9Config) (float64, error) {
 	cfg.fill()
-	m, err := machine.New(machine.Config{VEs: 1, Socket: cfg.Socket})
+	m, err := machine.New(cfg.machineConfig())
 	if err != nil {
 		return 0, err
 	}
@@ -129,7 +147,7 @@ func MeasureVEONative(cfg Fig9Config) (float64, error) {
 // protocol, in microseconds of simulated time.
 func MeasureHAMEmpty(cfg Fig9Config, dmaProtocol bool) (float64, error) {
 	cfg.fill()
-	m, err := machine.New(machine.Config{VEs: 1, Socket: cfg.Socket})
+	m, err := machine.New(cfg.machineConfig())
 	if err != nil {
 		return 0, err
 	}

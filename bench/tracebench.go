@@ -20,9 +20,9 @@ func TraceOffloads(reps int, w io.Writer) error {
 	if reps <= 0 {
 		reps = 5
 	}
-	rec := trace.NewRecorder()
+	rec := trace.NewTracer()
 	timing := topology.DefaultTiming()
-	timing.Recorder = rec
+	timing.Tracer = rec
 	for _, dma := range []bool{false, true} {
 		m, err := machine.New(machine.Config{VEs: 1, Timing: &timing})
 		if err != nil {

@@ -3,6 +3,7 @@
 //
 //	hambench -exp fig9                offload cost, three systems (Fig. 9)
 //	hambench -exp fig9 -socket 1      §V-A second-socket variant
+//	hambench -exp breakdown           per-phase split of one offload (Fig. 9 text)
 //	hambench -exp fig10               bandwidth sweep, four panels (Fig. 10)
 //	hambench -exp table4              max bandwidths (Table IV)
 //	hambench -exp crossover           §V-B crossover points
@@ -18,7 +19,9 @@
 //	hambench -exp all                 everything above
 //
 // Additional flags: -hist prints per-offload latency histograms with fig9;
-// -chrome FILE writes a Chrome/Perfetto trace of both protocols.
+// -chrome FILE writes a Chrome/Perfetto trace of both protocols; -trace FILE
+// records the fig9/breakdown runs with full lifecycle tracing and writes the
+// spans as Chrome trace-event JSON (load in Perfetto or chrome://tracing).
 //
 // All numbers are simulated time from the calibrated machine model, so they
 // are deterministic and reproducible.
@@ -30,11 +33,12 @@ import (
 	"os"
 
 	"hamoffload/bench"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/units"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig9, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, all)")
+	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, all)")
 	socket := flag.Int("socket", 0, "VH socket to offload from (fig9)")
 	reps := flag.Int("reps", 0, "timed repetitions per point (0 = defaults)")
 	maxSize := flag.Int64("max-size", (256 * units.MiB).Int64(), "largest transfer size for sweeps")
@@ -42,7 +46,30 @@ func main() {
 	plot := flag.Bool("plot", true, "render ASCII plots for fig10")
 	hist := flag.Bool("hist", false, "also print per-offload latency histograms for fig9")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON of a few offloads per protocol to this file")
+	tracePath := flag.String("trace", "", "record fig9/breakdown with lifecycle tracing and write Chrome trace-event JSON to this file")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.NewTracer()
+	}
+	writeTrace := func() {
+		if tracer == nil || tracer.Len() == 0 {
+			return
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hambench:", err)
+			os.Exit(1)
+		}
+		if err := tracer.ExportChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hambench: trace:", err)
+			os.Exit(1)
+		}
+		_ = f.Close()
+		fmt.Fprintln(os.Stderr, "hambench: wrote", *tracePath)
+	}
+	defer writeTrace()
 
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
@@ -86,7 +113,7 @@ func main() {
 	}
 
 	run("fig9", func() error {
-		r, err := bench.Fig9(bench.Fig9Config{Socket: *socket, Reps: *reps})
+		r, err := bench.Fig9(bench.Fig9Config{Socket: *socket, Reps: *reps, Tracer: tracer})
 		if err != nil {
 			return err
 		}
@@ -101,6 +128,24 @@ func main() {
 				fmt.Println()
 				h.Render(os.Stdout)
 			}
+		}
+		return nil
+	})
+
+	run("breakdown", func() error {
+		cfg := bench.Fig9Config{Socket: *socket, Reps: *reps, Tracer: tracer}
+		if cfg.Tracer == nil {
+			cfg.Tracer = trace.NewTracer()
+		}
+		res, err := bench.Breakdown(cfg, true)
+		if err != nil {
+			return err
+		}
+		bench.RenderBreakdown(os.Stdout, res)
+		fmt.Println()
+		fmt.Println("Per-node metrics registries")
+		for _, reg := range cfg.Tracer.Registries() {
+			reg.Render(os.Stdout)
 		}
 		return nil
 	})

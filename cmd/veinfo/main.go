@@ -1,9 +1,11 @@
 // Command veinfo prints the simulated benchmark system's configuration: the
 // processor specifications of Table I and the system/software configuration
-// of Table III of the paper.
+// of Table III of the paper. With -json the same machine description is
+// emitted as a single JSON document for tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,12 +17,20 @@ import (
 func main() {
 	table1 := flag.Bool("table1", true, "print Table I (processor specifications)")
 	table3 := flag.Bool("table3", true, "print Table III (benchmark system configuration)")
+	asJSON := flag.Bool("json", false, "emit both tables as one JSON document instead of text")
 	flag.Parse()
 
 	sys := topology.A300_8()
 	if err := sys.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "veinfo:", err)
 		os.Exit(1)
+	}
+	if *asJSON {
+		if err := printJSON(sys); err != nil {
+			fmt.Fprintln(os.Stderr, "veinfo:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *table1 {
 		printTable1(sys)
@@ -63,6 +73,74 @@ func printTable3(sys *topology.System) {
 	row("VEOS", sys.VEOSVer)
 	row("VEO", sys.VEOVer)
 	row("VE compiler", sys.VECompiler)
+}
+
+// procJSON is the machine-readable form of one Table I column.
+type procJSON struct {
+	Model              string  `json:"model"`
+	Cores              int     `json:"cores"`
+	Threads            int     `json:"threads"`
+	VectorWidthDouble  int     `json:"vector_width_double"`
+	ClockGHz           float64 `json:"clock_ghz"`
+	PeakGFLOPS         float64 `json:"peak_gflops"`
+	MaxMemoryBytes     int64   `json:"max_memory_bytes"`
+	MemoryBWBytesPerS  int64   `json:"memory_bandwidth_bytes_per_s"`
+	LastLevelCacheByte int64   `json:"last_level_cache_bytes"`
+	TDPWatts           int     `json:"tdp_watts"`
+}
+
+func toProcJSON(model string, cores, threads, vw int, ghz, gflops float64,
+	mem, bw, llc units.Bytes, tdp int) procJSON {
+	return procJSON{
+		Model: model, Cores: cores, Threads: threads, VectorWidthDouble: vw,
+		ClockGHz: ghz, PeakGFLOPS: gflops,
+		MaxMemoryBytes: mem.Int64(), MemoryBWBytesPerS: bw.Int64(),
+		LastLevelCacheByte: llc.Int64(), TDPWatts: tdp,
+	}
+}
+
+// printJSON emits Tables I and III as one JSON document.
+func printJSON(sys *topology.System) error {
+	cpu := sys.Sockets[0].CPU
+	ve := sys.VEs[0].Spec
+	out := struct {
+		System string `json:"system"`
+		Table1 struct {
+			VH procJSON `json:"vh_cpu"`
+			VE procJSON `json:"vector_engine"`
+		} `json:"table1"`
+		Table3 struct {
+			VHCPUs        int    `json:"vh_cpus"`
+			VHMemoryBytes int64  `json:"vh_memory_bytes"`
+			VECards       int    `json:"ve_cards"`
+			PCIeSwitches  int    `json:"pcie_switches"`
+			VEsPerSwitch  int    `json:"ves_per_switch"`
+			VHOS          string `json:"vh_os"`
+			VHCompiler    string `json:"vh_compiler"`
+			VEOS          string `json:"veos"`
+			VEO           string `json:"veo"`
+			VECompiler    string `json:"ve_compiler"`
+		} `json:"table3"`
+	}{System: sys.Name}
+	out.Table1.VH = toProcJSON(cpu.Model, cpu.Cores, cpu.Threads, cpu.VectorWidthF64,
+		cpu.ClockGHz, cpu.PeakGFLOPS, cpu.MaxMemory, cpu.MemoryBandwidth,
+		cpu.LastLevelCache, cpu.TDPWatts)
+	out.Table1.VE = toProcJSON(ve.Model, ve.Cores, ve.Threads, ve.VectorWidthF64,
+		ve.ClockGHz, ve.PeakGFLOPS, ve.MaxMemory, ve.MemoryBandwidth,
+		ve.LastLevelCache, ve.TDPWatts)
+	out.Table3.VHCPUs = len(sys.Sockets)
+	out.Table3.VHMemoryBytes = sys.VHMemory.Int64()
+	out.Table3.VECards = len(sys.VEs)
+	out.Table3.PCIeSwitches = len(sys.Switches)
+	out.Table3.VEsPerSwitch = len(sys.VEs) / len(sys.Switches)
+	out.Table3.VHOS = sys.VHOS
+	out.Table3.VHCompiler = sys.VHCompiler
+	out.Table3.VEOS = sys.VEOSVer
+	out.Table3.VEO = sys.VEOVer
+	out.Table3.VECompiler = sys.VECompiler
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func itoa(v int) string        { return fmt.Sprintf("%d", v) }

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/trace"
 )
 
 // Registered functions of the conformance program. Like any HAM-Offload
@@ -165,5 +166,51 @@ func Exercise(t Reporter, rt *core.Runtime, target core.NodeID) {
 	}
 	if _, err := core.Allocate[float64](rt, target, -1); err == nil {
 		t.Errorf("negative allocate accepted")
+	}
+}
+
+// ExerciseTrace extends the contract to observability: with tracing attached,
+// one synchronous offload must emit the mandatory lifecycle spans — offload,
+// encode, call and wait on the initiating node, and execute on the serving
+// node — and the initiator-side sub-spans must nest inside the offload span.
+// It must run in the host's execution context, after the backend and both
+// runtimes have been wired to tr.
+func ExerciseTrace(t Reporter, rt *core.Runtime, target core.NodeID, tr *trace.Tracer) {
+	before := tr.Len()
+	if v, err := core.Sync(rt, target, cfEcho.Bind(99)); err != nil || v != 99 {
+		t.Errorf("traced echo = %d, %v", v, err)
+		return
+	}
+	spans := tr.Spans()[before:]
+
+	pick := func(ph trace.Phase, node int) (trace.Span, bool) {
+		for _, s := range spans {
+			if s.Phase == ph && s.Node == node {
+				return s, true
+			}
+		}
+		return trace.Span{}, false
+	}
+	self := int(rt.ThisNode())
+	offl, okOffl := pick(trace.PhaseOffload, self)
+	for _, ph := range []trace.Phase{trace.PhaseOffload, trace.PhaseEncode,
+		trace.PhaseCall, trace.PhaseWait} {
+		s, ok := pick(ph, self)
+		if !ok {
+			t.Errorf("mandatory %q span missing on initiating node %d", ph, self)
+			continue
+		}
+		if s.Backend == "" {
+			t.Errorf("%q span lacks a backend label", ph)
+		}
+		// The sub-spans share the initiator's clock, so nesting inside the
+		// offload span is well defined even for wall-clock backends.
+		if okOffl && ph != trace.PhaseOffload && (s.Start < offl.Start || s.End > offl.End) {
+			t.Errorf("%q span [%d..%d] escapes the offload span [%d..%d]",
+				ph, s.Start, s.End, offl.Start, offl.End)
+		}
+	}
+	if _, ok := pick(trace.PhaseExecute, int(target)); !ok {
+		t.Errorf("mandatory %q span missing on serving node %d", trace.PhaseExecute, target)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"hamoffload/internal/backend/locb"
 	"hamoffload/internal/backend/tcpb"
 	"hamoffload/internal/core"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/trace"
 	"hamoffload/machine"
 	"hamoffload/offload"
 )
@@ -110,6 +112,134 @@ func TestClusterConformance(t *testing.T) {
 		defer func() { _ = rt.Finalize() }()
 		conformance.Exercise(t, rt, 1) // local VE
 		conformance.Exercise(t, rt, 2) // remote VE
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tracedTiming returns a machine timing model with a fresh tracer attached.
+func tracedTiming() (*trace.Tracer, *topology.Timing) {
+	tr := trace.NewTracer()
+	timing := topology.DefaultTiming()
+	timing.Tracer = tr
+	return tr, &timing
+}
+
+// TestTraceConformanceLoopback asserts the wall-clock loopback backend emits
+// the mandatory lifecycle spans.
+func TestTraceConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.NewTracer()
+	clock := trace.NewWallClock()
+	hb.SetTracer(tr, clock)
+	tb.SetTracer(tr, clock)
+	target := core.NewRuntime(tb, "conf-loc-target")
+	target.SetTracer(tr.Node(1, "locb", clock))
+	host := core.NewRuntime(hb, "conf-loc-host")
+	host.SetTracer(tr.Node(0, "locb", clock))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseTrace(t, host, 1, tr)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestTraceConformanceTCP asserts the socket backend emits the mandatory
+// lifecycle spans.
+func TestTraceConformanceTCP(t *testing.T) {
+	tgt, err := tcpb.Listen("127.0.0.1:0", 1, 2, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.NewTracer()
+	clock := trace.NewWallClock()
+	tgt.SetTracer(tr, clock)
+	targetRT := core.NewRuntime(tgt, "conf-tcp-target")
+	targetRT.SetTracer(tr.Node(1, "tcpb", clock))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := targetRT.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	hb, err := tcpb.Dial([]string{tgt.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb.SetTracer(tr, clock)
+	host := core.NewRuntime(hb, "conf-tcp-host")
+	host.SetTracer(tr.Node(0, "tcpb", clock))
+	conformance.ExerciseTrace(t, host, 1, tr)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestTraceConformanceSimulated asserts both SX-Aurora protocols emit the
+// mandatory lifecycle spans.
+func TestTraceConformanceSimulated(t *testing.T) {
+	for name, connect := range map[string]func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error){
+		"veo": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		},
+		"dma": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr, timing := tracedTiming()
+			m, err := machine.New(machine.Config{VEs: 1, Timing: timing})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseTrace(t, rt, 1, tr)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTraceConformanceCluster asserts the InfiniBand cluster backend emits
+// the mandatory lifecycle spans for both local and remote targets.
+func TestTraceConformanceCluster(t *testing.T) {
+	tr, timing := tracedTiming()
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1, Timing: timing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseTrace(t, rt, 1, tr) // local VE
+		conformance.ExerciseTrace(t, rt, 2, tr) // remote VE
 		return nil
 	})
 	if err != nil {

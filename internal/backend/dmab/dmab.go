@@ -20,6 +20,7 @@ import (
 	"hamoffload/internal/hostmem"
 	"hamoffload/internal/mem"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/vecore"
 	"hamoffload/internal/veo"
 	"hamoffload/internal/veos"
@@ -132,6 +133,13 @@ type Host struct {
 	conns []*conn
 	descs []core.NodeDescriptor
 	mem   core.LocalMemory
+	nt    *trace.NodeTracer // nil when the cards' Timing has no Tracer
+}
+
+// mid builds the protocol-level message correlator for a slot/sequence
+// pair; backend spans carry it so host and VE sides of one message line up.
+func (c *conn) mid(slot int, seq uint32) int64 {
+	return int64(seq)*int64(c.lay.nbuf) + int64(slot)
 }
 
 // Connect performs the full §IV-A setup for each card: VE process creation
@@ -145,6 +153,7 @@ func Connect(p *simtime.Proc, cards []*veos.Card, opts Options) (*Host, error) {
 	}
 	h := &Host{p: p, opts: opts, host: cards[0].Host}
 	h.mem = &adapter.HostHeap{H: h.host}
+	h.nt = cards[0].Timing.Tracer.Node(0, "dmab", p)
 	total := opts.TotalNodes
 	if total == 0 {
 		total = len(cards) + 1
@@ -248,7 +257,7 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if len(msg) > c.lay.bufSize || len(msg) > slots.MaxLen {
 		return nil, fmt.Errorf("dmab: message of %d bytes exceeds buffer size %d", len(msg), c.lay.bufSize)
 	}
-	defer c.card.Timing.Recorder.Span(h.p, "ham", "dmab-call")()
+	callStart := h.nt.Now()
 	h.p.Sleep(c.card.Timing.HAMHostOverhead)
 	slot := c.next
 	c.next = (c.next + 1) % c.lay.nbuf
@@ -265,11 +274,14 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 		return nil, err
 	}
 	h.p.Sleep(simtime.BytesOver(int64(len(msg)), c.card.Timing.HostMemCopyRate))
+	endFlag := h.nt.Begin(trace.PhaseFlagWrite, "dmab-flag-write", c.mid(slot, seq))
 	if err := h.host.Mem.WriteUint64(memA(base+c.lay.recvFlagOff(slot)), slots.Encode(seq, len(msg))); err != nil {
 		return nil, err
 	}
+	endFlag()
 	hd := &handle{target: target, slot: slot, seq: seq}
 	c.inUse[slot] = hd
+	h.nt.Since(trace.PhaseCall, "dmab-call", c.mid(slot, seq), callStart)
 	return hd, nil
 }
 
@@ -311,7 +323,7 @@ func (h *Host) waitHandle(hd *handle) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer c.card.Timing.Recorder.Span(h.p, "ham", "dmab-wait")()
+	defer h.nt.Begin(trace.PhaseWait, "dmab-wait", c.mid(hd.slot, hd.seq))()
 	for !hd.done {
 		ok, err := h.pollSlot(c, hd)
 		if err != nil {

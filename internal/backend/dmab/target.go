@@ -10,6 +10,7 @@ import (
 	"hamoffload/internal/ham"
 	"hamoffload/internal/pcie"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/veos"
 )
 
@@ -88,8 +89,10 @@ func init() {
 			if !ok {
 				return 1, fmt.Errorf("dmab: ham_main before ham_dmab_init on VE %d", card.ID)
 			}
-			t := &Target{kctx: ctx, st: st, heap: &adapter.VEHeap{VE: card.Mem}}
+			nt := card.Timing.Tracer.Node(st.selfNode, "dmab", ctx.P)
+			t := &Target{kctx: ctx, st: st, heap: &adapter.VEHeap{VE: card.Mem}, nt: nt}
 			rt := core.NewRuntime(t, st.arch)
+			rt.SetTracer(nt)
 			if err := rt.Serve(); err != nil {
 				return 1, err
 			}
@@ -105,6 +108,7 @@ type Target struct {
 	kctx *veos.Ctx
 	st   *targetState
 	heap *adapter.VEHeap
+	nt   *trace.NodeTracer
 }
 
 // Self implements core.Backend.
@@ -171,6 +175,7 @@ func (t *Target) Serve(s core.Server) error {
 	var idle simtime.Duration
 
 	for !s.Done() {
+		pollStart := t.nt.Now()
 		flag, err := instr.LoadWord(t.kctx.P, memA(t.st.shmVEHVA+lay.recvFlagOff(next)))
 		if err != nil {
 			return err
@@ -186,9 +191,14 @@ func (t *Target) Serve(s core.Server) error {
 		}
 		interval = tm.HAMVEPollInterval
 		idle = 0
+		mid := int64(seq[next])*int64(lay.nbuf) + int64(next)
+		t.nt.Since(trace.PhasePoll, "dmab-poll-hit", mid, pollStart)
 
 		// Fetch the message into the local staging buffer via user DMA
 		// (pre-built descriptor hot path, not the ve_dma_post_wait API).
+		// The fetch span also covers the fixed VE-side framework overhead
+		// (key translation, functor decode — HAMVEOverhead).
+		endFetch := t.nt.Begin(trace.PhaseFetch, "dmab-fetch", mid)
 		if err := udma.Post(t.kctx.P, dma.Raw, pcie.Down,
 			memA(t.st.stageVEHVA), memA(t.st.shmVEHVA+lay.recvBufOff(next)), int64(n)); err != nil {
 			return err
@@ -198,13 +208,14 @@ func (t *Target) Serve(s core.Server) error {
 			return err
 		}
 		t.kctx.P.Sleep(tm.HAMVEOverhead)
+		endFetch()
 
-		endExec := tm.Recorder.Span(t.kctx.P, "ham", "dmab-execute")
 		resp := s.Dispatch(msg)
-		endExec()
+		endResult := t.nt.Begin(trace.PhaseResult, "dmab-result", mid)
 		if err := t.respond(lay, next, seq[next], resp); err != nil {
 			return err
 		}
+		endResult()
 		seq[next]++
 		next = (next + 1) % lay.nbuf
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/trace"
 )
 
 type request struct {
@@ -54,6 +55,14 @@ type Node struct {
 	descs []core.NodeDescriptor
 	heaps []*lockedHeap
 	chans []chan request // chans[n] is the inbox of node n
+	nt    *trace.NodeTracer
+	calls int64 // message correlator for this node's outgoing calls
+}
+
+// SetTracer attaches a wall-clock trace handle for this node's protocol
+// spans. Call it before the first offload / Serve.
+func (b *Node) SetTracer(tr *trace.Tracer, clock trace.Clock) {
+	b.nt = tr.Node(int(b.self), "locb", clock)
 }
 
 // NewPair creates a two-node loopback application (host node 0, target
@@ -129,6 +138,8 @@ func (b *Node) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if int(target) < 0 || int(target) >= len(b.chans) {
 		return nil, fmt.Errorf("locb: no node %d", target)
 	}
+	b.calls++
+	defer b.nt.Begin(trace.PhaseCall, "locb-call", b.calls)()
 	req := request{msg: msg, resp: make(chan []byte, 1)}
 	b.chans[target] <- req
 	return req.resp, nil
@@ -140,6 +151,7 @@ func (b *Node) Wait(h core.Handle) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("locb: foreign handle %T", h)
 	}
+	defer b.nt.Begin(trace.PhaseWait, "locb-wait", b.calls)()
 	return <-ch, nil
 }
 
@@ -176,9 +188,16 @@ func (b *Node) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
 // Serve implements core.Backend: the target message loop.
 func (b *Node) Serve(s core.Server) error {
 	inbox := b.chans[b.self]
+	var served int64
 	for !s.Done() {
+		pollStart := b.nt.Now()
 		req := <-inbox
-		req.resp <- s.Dispatch(req.msg)
+		served++
+		b.nt.Since(trace.PhasePoll, "locb-recv", served, pollStart)
+		resp := s.Dispatch(req.msg)
+		endResult := b.nt.Begin(trace.PhaseResult, "locb-result", served)
+		req.resp <- resp
+		endResult()
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"hamoffload/internal/core"
 	"hamoffload/internal/ib"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/vecore"
 	"hamoffload/internal/veos"
 )
@@ -46,6 +47,7 @@ type request struct {
 	msg    []byte      // call message or put data
 	addr   uint64      // put/get address
 	getLen int64
+	mid    int64 // trace correlator
 
 	done *simtime.Event
 	resp []byte
@@ -75,6 +77,9 @@ type Host struct {
 
 	proxies []*proxy // index 1.. for machines 1..; index 0 nil
 	mem     core.LocalMemory
+
+	nt   *trace.NodeTracer
+	seqs int64 // correlator for forwarded (remote) requests
 }
 
 // proxy is the forwarding rank on one remote machine's VH.
@@ -96,6 +101,7 @@ func Connect(p *simtime.Proc, eng *simtime.Engine, fabric *ib.Fabric,
 		return nil, fmt.Errorf("mpib: fabric has %d hosts for %d machines", fabric.Hosts(), len(cards))
 	}
 	h := &Host{p: p, fabric: fabric}
+	h.nt = cards[0][0].Timing.Tracer.Node(0, "mpib", p)
 	h.mem = &adapter.HostHeap{H: cards[0][0].Host}
 	h.descs = append(h.descs, core.NodeDescriptor{
 		Name: "vh0", Arch: "x86_64", Device: "Vector Host, machine 0",
@@ -217,15 +223,19 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if m == 0 {
 		return h.local.Call(local, msg)
 	}
+	h.seqs++
 	rq := &request{
 		kind:   reqCall,
 		target: local,
 		msg:    msg,
+		mid:    h.seqs,
 		done:   simtime.NewEvent(h.p.Engine()),
 	}
+	callStart := h.nt.Now()
 	if err := h.forward(m, rq, int64(len(msg))+headerBytes); err != nil {
 		return nil, err
 	}
+	h.nt.Since(trace.PhaseCall, "mpib-call", rq.mid, callStart)
 	return rq, nil
 }
 
@@ -243,6 +253,7 @@ func (h *Host) forward(m int, rq *request, bytes int64) error {
 func (h *Host) Wait(hh core.Handle) ([]byte, error) {
 	switch v := hh.(type) {
 	case *request:
+		defer h.nt.Begin(trace.PhaseWait, "mpib-wait", v.mid)()
 		v.done.Wait(h.p)
 		return v.resp, v.err
 	default:

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/trace"
 )
 
 // Target is the serving side of the TCP backend: it accepts one host
@@ -18,9 +19,16 @@ type Target struct {
 	self  core.NodeID
 	total int
 	heap  *lockedHeap
+	nt    *trace.NodeTracer
 
 	mu   sync.Mutex
 	conn net.Conn
+}
+
+// SetTracer attaches a wall-clock trace handle for the target's serve loop.
+// Call it before Serve.
+func (t *Target) SetTracer(tr *trace.Tracer, clock trace.Clock) {
+	t.nt = tr.Node(int(t.self), "tcpb", clock)
 }
 
 // lockedHeap guards the heap against concurrent put/get and dispatch access.
@@ -133,6 +141,7 @@ func (t *Target) Serve(s core.Server) error {
 		_ = t.ln.Close()
 	}()
 	for !s.Done() {
+		pollStart := t.nt.Now()
 		typ, id, addr, payload, err := readFrame(conn)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -142,8 +151,12 @@ func (t *Target) Serve(s core.Server) error {
 		}
 		switch typ {
 		case frameCall:
+			t.nt.Since(trace.PhasePoll, "tcpb-recv", int64(id), pollStart)
 			resp := s.Dispatch(payload)
-			if err := writeFrame(conn, frameResp, id, 0, resp); err != nil {
+			endResult := t.nt.Begin(trace.PhaseResult, "tcpb-result", int64(id))
+			err := writeFrame(conn, frameResp, id, 0, resp)
+			endResult()
+			if err != nil {
 				return err
 			}
 		case framePut:

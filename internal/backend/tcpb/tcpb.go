@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/trace"
 )
 
 // Frame types of the wire protocol.
@@ -66,6 +67,13 @@ type Host struct {
 	conns []*hostConn
 	descs []core.NodeDescriptor
 	heap  *core.Heap
+	nt    *trace.NodeTracer
+}
+
+// SetTracer attaches a wall-clock trace handle for the host's protocol
+// spans (frame ids are the message correlators).
+func (h *Host) SetTracer(tr *trace.Tracer, clock trace.Clock) {
+	h.nt = tr.Node(0, "tcpb", clock)
 }
 
 type hostConn struct {
@@ -205,10 +213,12 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, _, err := hc.send(frameCall, 0, msg)
+	callStart := h.nt.Now()
+	ch, id, err := hc.send(frameCall, 0, msg)
 	if err != nil {
 		return nil, err
 	}
+	h.nt.Since(trace.PhaseCall, "tcpb-call", int64(id), callStart)
 	return ch, nil
 }
 
@@ -218,6 +228,7 @@ func (h *Host) Wait(hh core.Handle) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("tcpb: foreign handle %T", hh)
 	}
+	defer h.nt.Begin(trace.PhaseWait, "tcpb-wait", -1)()
 	res, open := <-ch
 	if !open {
 		return nil, fmt.Errorf("tcpb: connection closed while waiting")

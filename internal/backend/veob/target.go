@@ -7,6 +7,7 @@ import (
 	"hamoffload/internal/core"
 	"hamoffload/internal/ham"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/veos"
 )
 
@@ -56,8 +57,10 @@ func init() {
 			if !ok {
 				return 1, fmt.Errorf("veob: ham_main before ham_comm_init on VE %d", card.ID)
 			}
-			t := &Target{kctx: ctx, st: st, heap: &VEHeap{VE: card.Mem}}
+			nt := card.Timing.Tracer.Node(st.selfNode, "veob", ctx.P)
+			t := &Target{kctx: ctx, st: st, heap: &VEHeap{VE: card.Mem}, nt: nt}
 			rt := core.NewRuntime(t, st.arch)
+			rt.SetTracer(nt)
 			if err := rt.Serve(); err != nil {
 				return 1, err
 			}
@@ -73,6 +76,7 @@ type Target struct {
 	kctx *veos.Ctx
 	st   *targetState
 	heap *VEHeap
+	nt   *trace.NodeTracer
 }
 
 // Self implements core.Backend.
@@ -137,6 +141,7 @@ func (t *Target) Serve(s core.Server) error {
 	var idle simtime.Duration
 
 	for !s.Done() {
+		pollStart := t.nt.Now()
 		flag, err := card.Mem.HBM.ReadUint64(memA(lay.recvFlagAddr(next)))
 		if err != nil {
 			return err
@@ -153,21 +158,26 @@ func (t *Target) Serve(s core.Server) error {
 		}
 		interval = tm.HAMVEPollInterval
 		idle = 0
+		mid := int64(seq[next])*int64(lay.nbuf) + int64(next)
 		seq[next]++
+		t.nt.Since(trace.PhasePoll, "veob-poll-hit", mid, pollStart)
 
-		// Fetch the message from the local receive buffer.
+		// Fetch the message from the local receive buffer. The fetch span
+		// also covers the fixed VE-side framework overhead (HAMVEOverhead).
+		endFetch := t.nt.Begin(trace.PhaseFetch, "veob-fetch", mid)
 		msg := make([]byte, n)
 		if err := card.Mem.HBM.ReadAt(msg, memA(lay.recvBufAddr(next))); err != nil {
 			return err
 		}
 		t.kctx.P.Sleep(simtime.BytesOver(int64(n), tm.VEMemCopyRate) + tm.HAMVEOverhead)
+		endFetch()
 
-		endExec := tm.Recorder.Span(t.kctx.P, "ham", "veob-execute")
 		resp := s.Dispatch(msg)
-		endExec()
+		endResult := t.nt.Begin(trace.PhaseResult, "veob-result", mid)
 		if err := t.respond(lay, next, flagSeqOf(flag), resp); err != nil {
 			return err
 		}
+		endResult()
 		next = (next + 1) % lay.nbuf
 	}
 	return nil

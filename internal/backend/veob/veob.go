@@ -20,6 +20,7 @@ import (
 	"hamoffload/internal/backend/slots"
 	"hamoffload/internal/core"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/veo"
 	"hamoffload/internal/veos"
 )
@@ -123,6 +124,12 @@ type Host struct {
 	conns []*conn // index = NodeID-1
 	descs []core.NodeDescriptor
 	mem   core.LocalMemory
+	nt    *trace.NodeTracer // nil when the cards' Timing has no Tracer
+}
+
+// mid builds the protocol-level message correlator for a slot/sequence pair.
+func (c *conn) mid(slot int, seq uint32) int64 {
+	return int64(seq)*int64(c.lay.nbuf) + int64(slot)
 }
 
 // Connect builds the complete Fig. 4 runtime setup for the given VE cards:
@@ -137,6 +144,7 @@ func Connect(p *simtime.Proc, cards []*veos.Card, opts Options) (*Host, error) {
 	}
 	h := &Host{p: p, opts: opts}
 	h.mem = &adapter.HostHeap{H: cards[0].Host}
+	h.nt = cards[0].Timing.Tracer.Node(0, "veob", p)
 	h.descs = append(h.descs, core.NodeDescriptor{Name: "vh", Arch: "x86_64", Device: "Intel Xeon Gold 6126 (VH)"})
 	for i, card := range cards {
 		c, err := h.connect(card, i+1, len(cards)+1)
@@ -239,7 +247,7 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if len(msg) > c.lay.bufSize || len(msg) > slots.MaxLen {
 		return nil, fmt.Errorf("veob: message of %d bytes exceeds buffer size %d", len(msg), c.lay.bufSize)
 	}
-	defer h.timing(c).Recorder.Span(h.p, "ham", "veob-call")()
+	callStart := h.nt.Now()
 	h.p.Sleep(h.timing(c).HAMHostOverhead)
 	slot := c.next
 	c.next = (c.next + 1) % c.lay.nbuf
@@ -264,11 +272,14 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if err := c.card.Host.Mem.WriteUint64(memA(c.bounce), slots.Encode(seq, len(msg))); err != nil {
 		return nil, err
 	}
+	endFlag := h.nt.Begin(trace.PhaseFlagWrite, "veob-flag-write", c.mid(slot, seq))
 	if err := c.proc.WriteMem(h.p, c.lay.recvFlagAddr(slot), c.bounce, slots.FlagBits); err != nil {
 		return nil, err
 	}
+	endFlag()
 	hd := &handle{target: target, slot: slot, seq: seq}
 	c.inUse[slot] = hd
+	h.nt.Since(trace.PhaseCall, "veob-call", c.mid(slot, seq), callStart)
 	return hd, nil
 }
 
@@ -317,7 +328,7 @@ func (h *Host) waitHandle(hd *handle) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer h.timing(c).Recorder.Span(h.p, "ham", "veob-wait")()
+	defer h.nt.Begin(trace.PhaseWait, "veob-wait", c.mid(hd.slot, hd.seq))()
 	for !hd.done {
 		// Each poll is a full veo_read_mem; no extra backoff is needed, the
 		// privileged-DMA latency is the poll interval.

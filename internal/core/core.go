@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hamoffload/internal/ham"
+	"hamoffload/internal/trace"
 )
 
 // NodeID addresses one process of a HAM-Offload application. Node 0 is the
@@ -98,6 +99,7 @@ type Server interface {
 type Runtime struct {
 	backend Backend
 	bin     *ham.Binary
+	tr      *trace.NodeTracer // nil disables lifecycle tracing
 
 	terminated bool
 	offloads   int64 // initiated offloads, for stats
@@ -130,6 +132,17 @@ func (rt *Runtime) GetNodeDescriptor(n NodeID) NodeDescriptor {
 	return rt.backend.Descriptor(n)
 }
 
+// SetTracer attaches a per-node trace handle. The runtime then records
+// lifecycle spans (offload, encode, execute) tagged with this node's id and
+// a per-runtime message id. A nil handle (the default) disables tracing.
+func (rt *Runtime) SetTracer(nt *trace.NodeTracer) { rt.tr = nt }
+
+// Tracer returns the attached trace handle (nil when tracing is off).
+func (rt *Runtime) Tracer() *trace.NodeTracer { return rt.tr }
+
+// Metrics returns this node's metrics registry, or nil when tracing is off.
+func (rt *Runtime) Metrics() *trace.Registry { return rt.tr.Registry() }
+
 // Offloads returns how many offloads this runtime has initiated.
 func (rt *Runtime) Offloads() int64 { return rt.offloads }
 
@@ -137,9 +150,19 @@ func (rt *Runtime) Offloads() int64 { return rt.offloads }
 func (rt *Runtime) Executed() int64 { return rt.executed }
 
 // Dispatch implements Server: it executes one incoming active message
-// against this runtime.
+// against this runtime. With tracing attached it wraps the handler in a
+// PhaseExecute span named after the message type, so every backend's
+// target side reports execution uniformly.
 func (rt *Runtime) Dispatch(msg []byte) []byte {
 	rt.executed++
+	if rt.tr == nil {
+		return rt.bin.Dispatch(rt, msg)
+	}
+	name := rt.bin.MessageName(msg)
+	if name == "" {
+		name = "(unknown)"
+	}
+	defer rt.tr.Begin(trace.PhaseExecute, "execute "+name, rt.executed)()
 	return rt.bin.Dispatch(rt, msg)
 }
 
@@ -152,6 +175,18 @@ func (rt *Runtime) Serve() error {
 	return rt.backend.Serve(rt)
 }
 
+// beginOffload opens the whole-lifecycle span for the next offload on this
+// runtime and returns its message id plus the span-closing closure (a no-op
+// without a tracer). The id matches what callAsync assigns when the message
+// actually goes out.
+func (rt *Runtime) beginOffload(name string) (int64, func()) {
+	id := rt.offloads + 1
+	if rt.tr == nil {
+		return id, func() {}
+	}
+	return id, rt.tr.Begin(trace.PhaseOffload, "offload "+name, id)
+}
+
 // callAsync posts the named message with the given payload.
 func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder)) (Handle, error) {
 	if node == rt.ThisNode() {
@@ -160,7 +195,9 @@ func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder
 	if int(node) < 0 || int(node) >= rt.NumNodes() {
 		return nil, fmt.Errorf("core: no node %d in this application (%d nodes)", node, rt.NumNodes())
 	}
+	endEnc := rt.tr.Begin(trace.PhaseEncode, "encode "+name, rt.offloads+1)
 	msg, err := rt.bin.EncodeRequest(name, payload)
+	endEnc()
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +207,8 @@ func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder
 
 // callSync posts the message and waits for its response payload.
 func (rt *Runtime) callSync(node NodeID, name string, payload func(*ham.Encoder)) (*ham.Decoder, error) {
+	_, endOff := rt.beginOffload(name)
+	defer endOff()
 	h, err := rt.callAsync(node, name, payload)
 	if err != nil {
 		return nil, err

@@ -127,15 +127,19 @@ type Functor[R any] struct {
 func (f Functor[R]) Name() string { return f.name }
 
 // Async performs an asynchronous offload of fn to node, returning a future
-// (Table II's async).
+// (Table II's async). The offload lifecycle span opens here and closes when
+// the future settles.
 func Async[R any](rt *Runtime, node NodeID, fn Functor[R]) *Future[R] {
+	_, endOff := rt.beginOffload(fn.name)
 	h, err := rt.callAsync(node, fn.name, fn.payload)
 	if err != nil {
-		f := &Future[R]{rt: rt}
+		f := &Future[R]{rt: rt, onDone: endOff}
 		f.fail(err)
 		return f
 	}
-	return newFuture(rt, h, fn.decode)
+	f := newFuture(rt, h, fn.decode)
+	f.onDone = endOff
+	return f
 }
 
 // Sync performs a synchronous offload of fn to node (Table II's sync).

@@ -10,6 +10,10 @@ type Future[T any] struct {
 	h      Handle
 	decode func(*ham.Decoder) (T, error)
 
+	// onDone, when set, fires exactly once as the future settles or fails;
+	// the runtime uses it to close the offload lifecycle span.
+	onDone func()
+
 	done bool
 	val  T
 	err  error
@@ -58,6 +62,7 @@ func (f *Future[T]) MustGet() T {
 func (f *Future[T]) fail(err error) {
 	f.done = true
 	f.err = err
+	f.fireDone()
 }
 
 func (f *Future[T]) settle(resp []byte) {
@@ -65,9 +70,18 @@ func (f *Future[T]) settle(resp []byte) {
 	dec, err := ham.DecodeResponse(resp)
 	if err != nil {
 		f.err = err
+		f.fireDone()
 		return
 	}
 	f.val, f.err = f.decode(dec)
+	f.fireDone()
+}
+
+func (f *Future[T]) fireDone() {
+	if f.onDone != nil {
+		f.onDone()
+		f.onDone = nil
+	}
 }
 
 // newFuture wires a backend handle to a result decoder.

@@ -119,7 +119,7 @@ func (d *Privileged) transfer(p *simtime.Proc, dir pcie.Direction, veAddr, hostA
 	if dir == pcie.Up {
 		name = "priv-dma-read"
 	}
-	defer d.timing.Recorder.Span(p, "dma", name)()
+	defer d.timing.Tracer.Span(p, "dma", name)()
 	rate := d.timing.PrivDMAWriteRate
 	if dir == pcie.Up {
 		rate = d.timing.PrivDMAReadRate
@@ -134,6 +134,7 @@ func (d *Privileged) transfer(p *simtime.Proc, dir pcie.Direction, veAddr, hostA
 		// with the VE memory controller before data flows back.
 		p.Sleep(d.timing.PrivDMAReadExtra)
 	}
+	endWire := d.timing.Tracer.Span(p, "pcie", "pcie "+dir.String())
 	if n > 0 {
 		d.path.Link.Occupy(p, dir, n) // engine rate below link rate: charge engine rate
 		// The engine's sustained rate is below the link's TLP-limited rate;
@@ -143,6 +144,7 @@ func (d *Privileged) transfer(p *simtime.Proc, dir pcie.Direction, veAddr, hostA
 		}
 	}
 	p.Sleep(d.path.OneWayLatency())
+	endWire()
 	d.engine.Release(p)
 
 	if dir == pcie.Down {
@@ -204,12 +206,13 @@ func (u *UserDMA) Post(p *simtime.Proc, level Level, dir pcie.Direction, dstVEHV
 		rate = u.timing.UserDMAReadRate
 	}
 
-	defer u.timing.Recorder.Span(p, "dma", "user-dma "+dir.String())()
+	defer u.timing.Tracer.Span(p, "dma", "user-dma "+dir.String())()
 	u.engine.Acquire(p)
 	if level == API {
 		p.Sleep(u.timing.UserDMAAPISetup)
 	}
 	p.Sleep(u.timing.UserDMAHWLatency)
+	endWire := u.timing.Tracer.Span(p, "pcie", "pcie "+dir.String())
 	if n > 0 {
 		// Descriptors pipeline: total time is rate-limited; per-descriptor
 		// overhead is hidden behind the transfer of the previous one.
@@ -226,6 +229,7 @@ func (u *UserDMA) Post(p *simtime.Proc, level Level, dir pcie.Direction, dstVEHV
 		}
 	}
 	p.Sleep(u.path.OneWayLatency())
+	endWire()
 	u.engine.Release(p)
 
 	return mem.Copy(dstMem, dstAddr, srcMem, srcAddr, n)
@@ -257,6 +261,7 @@ func (in *Instr) LoadWord(p *simtime.Proc, vehva mem.Addr) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer in.timing.Tracer.Span(p, "pcie", "lhm-load")()
 	p.Sleep(in.timing.LHMPerWord + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency*2)
 	in.loads++
 	return m.ReadUint64(addr)
@@ -268,6 +273,7 @@ func (in *Instr) StoreWord(p *simtime.Proc, vehva mem.Addr, v uint64) error {
 	if err != nil {
 		return err
 	}
+	defer in.timing.Tracer.Span(p, "pcie", "shm-store")()
 	p.Sleep(in.timing.SHMFirstWord + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency)
 	in.stores++
 	return m.WriteUint64(addr, v)
@@ -286,6 +292,7 @@ func (in *Instr) StoreBytes(p *simtime.Proc, vehva mem.Addr, data []byte) error 
 		return err
 	}
 	words := padded / 8
+	defer in.timing.Tracer.Span(p, "pcie", "shm-store")()
 	cost := in.timing.SHMFirstWord + simtime.Duration(words-1)*in.timing.SHMPerWord
 	p.Sleep(cost + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency)
 	in.stores += words
@@ -306,6 +313,7 @@ func (in *Instr) LoadBytes(p *simtime.Proc, vehva mem.Addr, out []byte) error {
 		return err
 	}
 	words := padded / 8
+	defer in.timing.Tracer.Span(p, "pcie", "lhm-load")()
 	p.Sleep(simtime.Duration(words)*in.timing.LHMPerWord +
 		simtime.Duration(in.path.UPIHops)*in.timing.UPILatency*2)
 	in.loads += words

@@ -211,6 +211,22 @@ func (b *Binary) Dispatch(env any, msg []byte) []byte {
 	return enc.Bytes()
 }
 
+// MessageName peeks the message type name of a key-prefixed wire message
+// without dispatching it, for instrumentation labels. Returns "" when the
+// message is truncated or the key is unknown.
+func (b *Binary) MessageName(msg []byte) string {
+	dec := NewDecoder(msg)
+	key := Key(dec.U32())
+	if dec.Err() != nil {
+		return ""
+	}
+	name, err := b.NameOf(key)
+	if err != nil {
+		return ""
+	}
+	return name
+}
+
 // Wire format of requests: [u32 key][payload]. Responses: [u8 status]
 // followed by either the result payload or an error string.
 const (

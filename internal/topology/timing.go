@@ -167,10 +167,11 @@ type Timing struct {
 	// VEMemCopyRate is the VE local HBM copy rate (bytes/s).
 	VEMemCopyRate float64
 
-	// Recorder, when non-nil, collects timeline spans from the instrumented
-	// components (VEO calls, privileged/user DMA, HAM protocol steps) for
-	// Chrome-trace export. Nil disables recording at zero cost.
-	Recorder *trace.Recorder
+	// Tracer, when non-nil, collects timeline spans from the instrumented
+	// components (VEO calls, privileged/user DMA, LHM/SHM ops, HAM protocol
+	// steps) for Chrome-trace export, latency breakdowns, and the per-node
+	// metrics registries. Nil disables recording at zero cost.
+	Tracer *trace.Tracer
 }
 
 // DefaultTiming returns the calibrated constants reproducing the paper's

@@ -31,7 +31,11 @@ func NewHistogram(name string) *Histogram {
 }
 
 // bucketOf maps a duration to a bucket index: 2 buckets per octave starting
-// at 1 ns.
+// at 1 ns. It is exactly consistent with bucketLow — for every d >= 1 ns,
+// bucketLow(bucketOf(d)) <= d, and d < bucketLow(bucketOf(d)+1) unless the
+// top bucket caught it. The float log estimate can land one bucket off at
+// boundaries (2*log2 truncation vs the truncated pow in bucketLow), so the
+// estimate is nudged until the invariant holds.
 func bucketOf(d simtime.Duration) int {
 	ns := float64(d) / float64(simtime.Nanosecond)
 	if ns < 1 {
@@ -44,12 +48,24 @@ func bucketOf(d simtime.Duration) int {
 	if i > 127 {
 		i = 127
 	}
+	for i > 0 && bucketLow(i) > d {
+		i--
+	}
+	for i < 127 && bucketLow(i+1) <= d {
+		i++
+	}
 	return i
 }
 
-// bucketLow returns the lower bound of bucket i.
+// bucketLow returns the lower bound of bucket i, saturating at MaxInt64:
+// buckets past ~2^53 ns exceed the picosecond range, and the naive float
+// conversion used to wrap to a negative duration.
 func bucketLow(i int) simtime.Duration {
-	return simtime.Duration(math.Pow(2, float64(i)/2) * float64(simtime.Nanosecond))
+	v := math.Pow(2, float64(i)/2) * float64(simtime.Nanosecond)
+	if v >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return simtime.Duration(v)
 }
 
 // Observe records one duration.

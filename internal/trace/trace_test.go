@@ -153,9 +153,9 @@ func TestCounters(t *testing.T) {
 	}
 }
 
-func TestRecorderSpansAndChromeExport(t *testing.T) {
+func TestTracerSpansAndChromeExport(t *testing.T) {
 	eng := simtime.NewEngine()
-	r := NewRecorder()
+	r := NewTracer()
 	eng.Spawn("worker", func(p *simtime.Proc) {
 		end := r.Span(p, "dma", "transfer")
 		p.Sleep(5 * simtime.Microsecond)
@@ -186,8 +186,8 @@ func TestRecorderSpansAndChromeExport(t *testing.T) {
 	}
 }
 
-func TestNilRecorderIsSafe(t *testing.T) {
-	var r *Recorder
+func TestNilTracerIsSafe(t *testing.T) {
+	var r *Tracer
 	eng := simtime.NewEngine()
 	eng.Spawn("p", func(p *simtime.Proc) {
 		end := r.Span(p, "x", "y") // must not panic

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"hamoffload/internal/simtime"
+)
+
+// Phase identifies one step of the offload lifecycle. The mandatory sequence
+// for a synchronous offload is: PhaseOffload wraps the whole call on the
+// initiating node, and within it PhaseEncode, PhaseCall, PhaseExecute and
+// PhaseWait must all appear (see internal/backend/conformance).
+type Phase string
+
+const (
+	// PhaseOffload covers the full lifecycle on the initiating node, from
+	// the moment the offload is issued until its future resolves.
+	PhaseOffload Phase = "offload"
+	// PhaseEncode covers active-message serialisation (key + payload).
+	PhaseEncode Phase = "encode"
+	// PhaseCall covers the backend call path that ships the message to the
+	// target (message buffer write + flag write for the one-sided protocols).
+	PhaseCall Phase = "call"
+	// PhaseFlagWrite covers writing the receive flag that publishes a
+	// message buffer to the target (sub-span of PhaseCall).
+	PhaseFlagWrite Phase = "flag-write"
+	// PhasePoll covers the target-side poll iteration that hit a newly set
+	// receive flag (the last flag probe before message receipt).
+	PhasePoll Phase = "poll"
+	// PhaseFetch covers pulling the message body to the target (user-DMA
+	// descriptor fetch for the DMA protocol, buffer read for VEO).
+	PhaseFetch Phase = "fetch"
+	// PhaseExecute covers handler dispatch and execution on the target.
+	PhaseExecute Phase = "execute"
+	// PhaseResult covers storing the result back to the initiator (SHM
+	// stores / result DMA) including the completion-flag write.
+	PhaseResult Phase = "result"
+	// PhaseWait covers the initiator blocking on offload completion.
+	PhaseWait Phase = "wait"
+	// PhaseTransfer covers bulk data movement (Put/Get).
+	PhaseTransfer Phase = "transfer"
+)
+
+// NodeInfra marks spans recorded by shared infrastructure (DMA engines, VEO
+// API calls, kernel workers) that are not tied to one HAM node.
+const NodeInfra = -1
+
+// Span is one recorded operation on a timeline. Simulated backends stamp
+// spans with simulated picosecond times; wall-clock backends (locb, tcpb)
+// use a WallClock mapped onto the same scale.
+type Span struct {
+	Name    string
+	Cat     string // component category: "ham", "veo", "dma", "pcie", ...
+	Phase   Phase  // lifecycle phase, empty for infrastructure spans
+	Tid     string // process / track name
+	Node    int    // HAM node id, or NodeInfra
+	Backend string // backend short name ("dmab", "veob", ...), empty for infra
+	MsgID   int64  // message correlator, -1 when unknown
+	Start   simtime.Time
+	End     simtime.Time
+}
+
+// Dur returns the span length.
+func (s Span) Dur() simtime.Duration { return s.End.Sub(s.Start) }
+
+// Clock abstracts the time source spans are stamped with. *simtime.Proc
+// satisfies it for simulated components; NewWallClock covers real-time
+// backends.
+type Clock interface {
+	Now() simtime.Time
+}
+
+// WallClock maps real elapsed time since its creation onto the simulated
+// picosecond scale, so wall-clock backends (locb, tcpb) share the span and
+// export machinery with simulated ones.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a clock whose zero is now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns the elapsed real time as a simulated timestamp.
+func (w *WallClock) Now() simtime.Time {
+	return simtime.Time(time.Since(w.start).Nanoseconds() * int64(simtime.Nanosecond))
+}
+
+// Tracer collects spans from instrumented components and feeds per-node
+// Registries. A nil *Tracer is valid, records nothing, and costs one nil
+// check per instrumentation site, so tracing defaults to off everywhere.
+// Tracer is safe for concurrent use (the wall-clock backends record from
+// multiple goroutines).
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	limit int
+	regs  map[int]*Registry
+}
+
+// NewTracer returns an empty tracer with the default 1M-span cap.
+func NewTracer() *Tracer {
+	return &Tracer{limit: 1 << 20, regs: map[int]*Registry{}}
+}
+
+// Span opens an infrastructure span (Node = NodeInfra) at the process's
+// current simulated time; invoke the returned closure to close it. Usage:
+//
+//	defer t.Tracer.Span(p, "dma", "priv-dma-write")()
+func (t *Tracer) Span(p *simtime.Proc, cat, name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := p.Now()
+	return func() {
+		t.record(Span{
+			Name: name, Cat: cat, Tid: p.Name(),
+			Node: NodeInfra, MsgID: -1,
+			Start: start, End: p.Now(),
+		})
+	}
+}
+
+// record appends a finished span and folds it into its node's registry.
+func (t *Tracer) record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) < t.limit {
+		t.spans = append(t.spans, s)
+	}
+	r := t.registryLocked(s.Node, s.Backend)
+	t.mu.Unlock()
+	r.observeSpan(s)
+}
+
+func (t *Tracer) registryLocked(node int, backend string) *Registry {
+	r, ok := t.regs[node]
+	if !ok {
+		r = newRegistry(node, backend)
+		t.regs[node] = r
+	} else if r.backend == "" && backend != "" {
+		r.backend = backend
+	}
+	return r
+}
+
+// Node returns a per-node handle that stamps spans with the node id, the
+// backend name, and timestamps from clock. A nil receiver yields a nil
+// handle, which is itself a no-op.
+func (t *Tracer) Node(node int, backend string, clock Clock) *NodeTracer {
+	if t == nil {
+		return nil
+	}
+	tid := ""
+	if p, ok := clock.(*simtime.Proc); ok && p != nil {
+		tid = p.Name()
+	}
+	return &NodeTracer{t: t, node: node, backend: backend, clock: clock, tid: tid}
+}
+
+// Registry returns the metrics registry for a node, creating it on demand.
+// Returns nil on a nil tracer.
+func (t *Tracer) Registry(node int) *Registry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.registryLocked(node, "")
+}
+
+// Registries returns all node registries ordered by node id.
+func (t *Tracer) Registries() []*Registry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]*Registry, 0, len(t.regs))
+	for _, r := range t.regs {
+		out = append(out, r)
+	}
+	t.mu.Unlock()
+	sortRegistries(out)
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	return append([]Span(nil), t.spans...)
+}
+
+// NodeTracer stamps spans for one HAM node. All methods are safe on a nil
+// receiver, which is the disabled-tracing fast path.
+type NodeTracer struct {
+	t       *Tracer
+	node    int
+	backend string
+	clock   Clock
+	tid     string
+}
+
+// Begin opens a lifecycle span; invoke the returned closure to close it.
+// msgID is the message correlator (-1 when unknown).
+func (n *NodeTracer) Begin(ph Phase, name string, msgID int64) func() {
+	if n == nil {
+		return func() {}
+	}
+	start := n.clock.Now()
+	return func() { n.Since(ph, name, msgID, start) }
+}
+
+// Since records a span from an explicitly captured start time to now. It
+// serves the "only know it was interesting after the fact" sites, such as
+// the poll iteration that finally hit a set flag.
+func (n *NodeTracer) Since(ph Phase, name string, msgID int64, start simtime.Time) {
+	if n == nil {
+		return
+	}
+	n.t.record(Span{
+		Name: name, Cat: "ham", Phase: ph, Tid: n.tid,
+		Node: n.node, Backend: n.backend, MsgID: msgID,
+		Start: start, End: n.clock.Now(),
+	})
+}
+
+// Now returns the handle's clock reading (0 on nil), for capturing start
+// times to pass to Since.
+func (n *NodeTracer) Now() simtime.Time {
+	if n == nil {
+		return 0
+	}
+	return n.clock.Now()
+}
+
+// Count bumps a counter in the node's registry.
+func (n *NodeTracer) Count(name string, delta int64) {
+	if n == nil {
+		return
+	}
+	n.Registry().Count(name, delta)
+}
+
+// Observe adds one duration to a named histogram in the node's registry.
+func (n *NodeTracer) Observe(name string, d simtime.Duration) {
+	if n == nil {
+		return
+	}
+	n.Registry().Observe(name, d)
+}
+
+// Registry returns the node's metrics registry (nil on a nil handle).
+func (n *NodeTracer) Registry() *Registry {
+	if n == nil {
+		return nil
+	}
+	n.t.mu.Lock()
+	defer n.t.mu.Unlock()
+	return n.t.registryLocked(n.node, n.backend)
+}

@@ -89,7 +89,7 @@ func (ctx *Context) workerLoop(p *simtime.Proc) {
 		}
 		interval = t.VEOCmdPollInterval
 		idle = 0
-		end := t.Recorder.Span(p, "veo", "ve-kernel")
+		end := t.Tracer.Span(p, "veo", "ve-kernel")
 		p.Sleep(t.VEOCallDispatchVE)
 		kctx := &Ctx{P: p, Context: ctx}
 		cmd.result, cmd.err = cmd.Kernel(kctx, cmd.Args)
@@ -104,7 +104,7 @@ func (ctx *Context) workerLoop(p *simtime.Proc) {
 // PCIe doorbell path and becomes visible to the worker.
 func (ctx *Context) Submit(p *simtime.Proc, k Kernel, args []uint64) *Command {
 	t := ctx.proc.card.Timing
-	defer t.Recorder.Span(p, "veo", "veo_call_async")()
+	defer t.Tracer.Span(p, "veo", "veo_call_async")()
 	p.Sleep(t.VEOLibOverhead + t.VEOCallSubmit + t.IPCUserVEOS + t.DriverHop +
 		ctx.proc.card.Path.OneWayLatency())
 	cmd := &Command{

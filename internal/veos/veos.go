@@ -117,7 +117,7 @@ func (c *Card) DestroyProcess(p *simtime.Proc) error {
 // library cost and the IPC into the veos daemon, whose DMA manager performs
 // the privileged transfer of n bytes from VH hostAddr into VE veAddr.
 func (c *Card) DMAWrite(p *simtime.Proc, veAddr, hostAddr uint64, n int64) error {
-	defer c.Timing.Recorder.Span(p, "veo", "veo_write_mem")()
+	defer c.Timing.Tracer.Span(p, "veo", "veo_write_mem")()
 	p.Sleep(c.Timing.VEOLibOverhead + c.Timing.IPCUserVEOS + c.Timing.DriverHop)
 	if err := c.Priv.Write(p, memAddr(veAddr), memAddr(hostAddr), n); err != nil {
 		return err
@@ -128,7 +128,7 @@ func (c *Card) DMAWrite(p *simtime.Proc, veAddr, hostAddr uint64, n int64) error
 
 // DMARead services a veo_read_mem: n bytes from VE veAddr into VH hostAddr.
 func (c *Card) DMARead(p *simtime.Proc, hostAddr, veAddr uint64, n int64) error {
-	defer c.Timing.Recorder.Span(p, "veo", "veo_read_mem")()
+	defer c.Timing.Tracer.Span(p, "veo", "veo_read_mem")()
 	p.Sleep(c.Timing.VEOLibOverhead + c.Timing.IPCUserVEOS + c.Timing.DriverHop)
 	if err := c.Priv.Read(p, memAddr(hostAddr), memAddr(veAddr), n); err != nil {
 		return err

@@ -82,5 +82,7 @@ func ConnectCluster(p *Proc, c *Cluster, opts ProtocolOptions) (*core.Runtime, e
 	if err != nil {
 		return nil, err
 	}
-	return core.NewRuntime(b, "x86_64-vh-cluster"), nil
+	rt := core.NewRuntime(b, "x86_64-vh-cluster")
+	rt.SetTracer(c.Nodes[0].Timing.Tracer.Node(0, "mpib", p))
+	return rt, nil
 }

@@ -198,7 +198,9 @@ func ConnectVEO(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	if err != nil {
 		return nil, err
 	}
-	return core.NewRuntime(b, "x86_64-vh"), nil
+	rt := core.NewRuntime(b, "x86_64-vh")
+	rt.SetTracer(m.Timing.Tracer.Node(0, "veob", p))
+	return rt, nil
 }
 
 // ConnectDMA sets up HAM-Offload over the paper's DMA protocol (§IV-B):
@@ -214,5 +216,7 @@ func ConnectDMA(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	if err != nil {
 		return nil, err
 	}
-	return core.NewRuntime(b, "x86_64-vh"), nil
+	rt := core.NewRuntime(b, "x86_64-vh")
+	rt.SetTracer(m.Timing.Tracer.Node(0, "dmab", p))
+	return rt, nil
 }
