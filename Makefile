@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check test race bench repro examples fmt vet cover
+.PHONY: all check test race bench repro examples fmt vet lint cover
 
 all: check
 
 # The full gate: static analysis plus the test suite under the race
 # detector (the wall-clock backends and the span tracer are concurrent).
-check: vet race
+check: vet lint race
 
 test:
 	$(GO) test ./...
@@ -39,6 +39,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Repository-specific invariants (DES clock, span nesting, deterministic
+# output, unit types) — see docs/LINTING.md.
+lint:
+	$(GO) run ./cmd/hamlint ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,41 @@
+// Command hamlint runs the repository's invariant analyzers (walltime,
+// spanend, detmap, goroutine, unitcast) over the given packages. It is the
+// lint half of `make check`:
+//
+//	go run ./cmd/hamlint ./...
+//
+// Findings print as file:line:col: [analyzer] message and make the command
+// exit 1. Each analyzer's contract — and the simulator invariant behind it
+// — is documented in docs/LINTING.md; a finding can be suppressed at the
+// offending line with `//lint:allow <analyzer> <justification>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hamoffload/internal/analysis/hamlint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hamlint [-list] [packages]\n\n"+
+			"Runs the hamoffload invariant analyzers over the packages\n"+
+			"(default ./...). See docs/LINTING.md.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range hamlint.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(hamlint.Main(".", patterns, os.Stdout))
+}

@@ -1,0 +1,160 @@
+// Package analysis is a self-contained static-analysis framework for this
+// repository, mirroring the vocabulary of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, diagnostics) on the standard library alone. The repo is
+// deliberately dependency-free, so the framework is grown here instead of
+// imported; the shape is kept close to x/tools so the analyzers could be
+// ported to a stock multichecker by swapping this package out.
+//
+// The analyzers under internal/analysis/... enforce the simulator's
+// foundational invariants statically: the DES clock is the only clock in
+// simulation code (walltime), every opened trace span is closed on every
+// path (spanend), deterministic-output paths never depend on map order or
+// math/rand (detmap), all concurrency in DES packages flows through the
+// engine (goroutine), and byte/picosecond quantities never cross a type
+// boundary as bare numbers (unitcast). See docs/LINTING.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// comments. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// protects and why it matters for the simulator.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, resolved to a concrete source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowIndex records, per file and line, the analyzer names suppressed by
+// //lint:allow comments. A comment suppresses findings on its own line and,
+// when it stands alone, on the line directly below it.
+type allowIndex map[string]map[int][]string
+
+// buildAllowIndex scans the files of a package for //lint:allow comments.
+// The first word after "lint:allow" is the analyzer name (or "all"); the
+// rest of the comment is a free-form justification.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx[pos.Filename] = lines
+				}
+				// Apply to the comment's own line (trailing comment) and to
+				// the line after its comment group (comment block above the
+				// offending statement, possibly spanning several lines).
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+				end := fset.Position(cg.End()).Line
+				lines[end+1] = append(lines[end+1], fields[0])
+			}
+		}
+	}
+	return idx
+}
+
+func (idx allowIndex) allows(d Diagnostic) bool {
+	for _, name := range idx[d.Pos.Filename][d.Pos.Line] {
+		if name == d.Analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers that the applies predicate selects for the
+// package and returns the surviving findings in source order. A nil applies
+// runs every analyzer. //lint:allow suppressions are honoured here so every
+// entry point (hamlint, tests) treats them identically.
+func Run(pkg *Package, analyzers []*Analyzer, applies func(analyzer, pkgPath string) bool) ([]Diagnostic, error) {
+	idx := buildAllowIndex(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if applies != nil && !applies(a.Name, pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if !idx.allows(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

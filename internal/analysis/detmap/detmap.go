@@ -1,0 +1,119 @@
+// Package detmap guards deterministic-output paths against map iteration
+// order and math/rand.
+//
+// The trace exporters, metric registries, HAM key tables and experiment
+// drivers promise bit-identical output for identical simulations — the
+// golden Chrome-export test and the §III-E sorted-key-table property depend
+// on it. Go randomises map iteration order per run, so a bare `range m`
+// in one of these paths is a nondeterminism bug that survives every test
+// run until it doesn't.
+//
+// A range over a map is accepted only when its body is order-insensitive:
+// nothing but append collection, integer accumulation (+=, ++/--), or such
+// statements behind an else-less if. That admits the collect-then-sort
+// idiom and commutative sums; everything else needs an explicit
+// //lint:allow detmap with a justification. Importing math/rand (or v2) in
+// a deterministic-output package is flagged unconditionally.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"hamoffload/internal/analysis"
+)
+
+// Analyzer flags order-sensitive map iteration and math/rand use.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "deterministic-output paths must not depend on map iteration order " +
+		"(collect and sort keys first) or on math/rand",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+				(path == "math/rand" || path == "math/rand/v2") {
+				pass.Reportf(imp.Pos(),
+					"%s in a deterministic-output path; outputs must be a pure function of the inputs", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs.Body.List) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"iteration over map %s has nondeterministic order; collect the keys, "+
+					"sort them, and iterate the sorted slice", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitive reports whether every statement commutes across loop
+// iterations: append collection, integer accumulation, or either behind an
+// else-less if.
+func orderInsensitive(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if !commutativeAssign(pass, s) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			// counting is commutative
+		case *ast.IfStmt:
+			if s.Else != nil || !orderInsensitive(pass, s.Body.List) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeAssign accepts `x = append(x, ...)` and integer `x += e`.
+func commutativeAssign(pass *analysis.Pass, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	switch as.Tok.String() {
+	case "=", ":=":
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "append"
+	case "+=":
+		// Integer addition commutes; float addition does not (rounding
+		// depends on order).
+		t := pass.TypesInfo.TypeOf(as.Lhs[0])
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package goroutine_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/analysistest"
+	"hamoffload/internal/analysis/goroutine"
+)
+
+func TestGoroutine(t *testing.T) {
+	analysistest.Run(t, goroutine.Analyzer, "goroutine")
+}

@@ -1,0 +1,59 @@
+// Package hamlint assembles the repository's analyzer suite and drives it
+// over packages, applying the scoping policy and printing findings. It is
+// the library behind cmd/hamlint, split out so tests can assert the
+// registered analyzer set and run the suite in-process.
+package hamlint
+
+import (
+	"fmt"
+	"io"
+
+	"hamoffload/internal/analysis"
+	"hamoffload/internal/analysis/detmap"
+	"hamoffload/internal/analysis/goroutine"
+	"hamoffload/internal/analysis/spanend"
+	"hamoffload/internal/analysis/unitcast"
+	"hamoffload/internal/analysis/walltime"
+)
+
+// Suite returns the full analyzer set, in the order findings are grouped.
+// Adding an analyzer here is the single registration step; policy scoping
+// lives in analysis.Applies and docs in docs/LINTING.md.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		walltime.Analyzer,
+		spanend.Analyzer,
+		detmap.Analyzer,
+		goroutine.Analyzer,
+		unitcast.Analyzer,
+	}
+}
+
+// Main loads the packages matching patterns (from dir), runs the suite
+// under the scoping policy, and writes findings to out. It returns the
+// process exit code: 0 clean, 1 findings, 2 load failure.
+func Main(dir string, patterns []string, out io.Writer) int {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(out, "hamlint: %v\n", err)
+		return 2
+	}
+	suite := Suite()
+	issues := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, suite, analysis.Applies)
+		if err != nil {
+			fmt.Fprintf(out, "hamlint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+			issues++
+		}
+	}
+	if issues > 0 {
+		fmt.Fprintf(out, "hamlint: %d issue(s); see docs/LINTING.md (//lint:allow <analyzer> <why> suppresses a finding)\n", issues)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+package hamlint_test
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"hamoffload/internal/analysis/hamlint"
+)
+
+// TestSuiteRegistration pins the registered analyzer set to the documented
+// one: adding, removing or renaming an analyzer must update docs/LINTING.md
+// and this list together.
+func TestSuiteRegistration(t *testing.T) {
+	want := []string{"walltime", "spanend", "detmap", "goroutine", "unitcast"}
+	var got []string
+	for _, a := range hamlint.Suite() {
+		got = append(got, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+	if !slices.Equal(got, want) {
+		t.Errorf("registered analyzers = %v, want %v", got, want)
+	}
+}
+
+// TestSelfLint runs the full suite over the repository: the tree must stay
+// clean so that a regression against any invariant fails CI here as well as
+// in `make lint`.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint type-checks the whole module")
+	}
+	var buf bytes.Buffer
+	if code := hamlint.Main(".", []string{"hamoffload/..."}, &buf); code != 0 {
+		t.Fatalf("hamlint over the repository: exit %d\n%s", code, buf.String())
+	}
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked, to-be-analyzed package.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// Load type-checks the packages matching patterns (run from dir, which must
+// lie inside the module) and returns them ready for analysis. Dependencies
+// — including the standard library — are resolved from compiler export data
+// produced by `go list -deps -export`, so loading needs no network access
+// and no sources outside the module and GOROOT. Only non-test GoFiles are
+// analyzed: the invariants guard production simulation code, and tests
+// routinely (and legitimately) range over maps or measure wall time.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var roots []listedPackage
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		if !m.Standard && !m.DepOnly {
+			roots = append(roots, m)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var pkgs []*Package
+	for _, m := range roots {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", m.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Typecheck(fset, m.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path:      m.ImportPath,
+			Dir:       m.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     pkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Export,Standard,DepOnly,Dir,GoFiles",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var metas []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var m listedPackage
+		if err := dec.Decode(&m); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult filled
+// in. Shared with the analysistest fixture loader.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Typecheck runs the go/types checker over one package, collecting every
+// error rather than stopping at the first. It is shared with the
+// analysistest fixture loader.
+func Typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := NewInfo()
+	pkg, _ := conf.Check(path, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", path, errors.Join(terrs...))
+	}
+	return pkg, info, nil
+}

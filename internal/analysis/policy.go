@@ -1,0 +1,96 @@
+package analysis
+
+import "strings"
+
+// Package-scoping policy: which analyzer runs where. Analyzers themselves
+// are scope-free (so fixtures can exercise them under any package path);
+// this table is the single place that says which parts of the tree live
+// under which invariant regime.
+//
+// Two clock regimes exist in this repository. Simulation packages run on
+// the DES picosecond clock and must be bit-for-bit deterministic; the
+// wall-clock backends (tcpb over real sockets, mpib's proxy threads, and
+// trace's WallClock bridge) deal in real time and real goroutines by
+// design. The examples are demo programs, free to do either.
+
+// desPackages are the simulation packages: the DES engine itself and every
+// component whose time is simulated picoseconds. walltime and goroutine
+// apply here.
+var desPackages = []string{
+	"hamoffload/internal/simtime",
+	"hamoffload/internal/backend", // minus the wall-clock backends, below
+	"hamoffload/internal/dma",
+	"hamoffload/internal/veo",
+	"hamoffload/internal/veos",
+	"hamoffload/internal/pcie",
+	"hamoffload/internal/vecore",
+	"hamoffload/internal/vemem",
+	"hamoffload/internal/hostmem",
+	"hamoffload/internal/mem",
+	"hamoffload/internal/ib",
+	"hamoffload/internal/topology",
+	"hamoffload/bench",
+}
+
+// wallClockPackages are allowed to use real time and raw goroutines: they
+// bridge to the outside world on purpose. The loopback backend (locb) is
+// deliberately NOT here: it runs inside simulations next to simulated
+// backends, so it must stay clock-free even though it uses real channels.
+var wallClockPackages = []string{
+	"hamoffload/internal/backend/tcpb",
+	"hamoffload/internal/backend/mpib",
+}
+
+// goroutineExtra extends the raw-goroutine ban to the offload runtime core,
+// which multiplexes backends and must not fork OS concurrency of its own.
+var goroutineExtra = []string{
+	"hamoffload/internal/core",
+}
+
+// deterministicOutputPackages produce artifacts that must be bit-identical
+// across runs of the same simulation: trace exports, metric registries, the
+// HAM key tables, and the experiment drivers. detmap applies here.
+var deterministicOutputPackages = []string{
+	"hamoffload/internal/trace",
+	"hamoffload/internal/ham",
+	"hamoffload/cmd/veinfo",
+	"hamoffload/cmd/hambench",
+	"hamoffload/bench",
+}
+
+// unitcastExempt own the unit types and may convert freely.
+var unitcastExempt = []string{
+	"hamoffload/internal/units",
+	"hamoffload/internal/simtime",
+}
+
+// Applies reports whether the named analyzer is in force for pkgPath. It is
+// the predicate hamlint passes to Run.
+func Applies(analyzer, pkgPath string) bool {
+	switch analyzer {
+	case "walltime":
+		return inAny(pkgPath, desPackages) && !inAny(pkgPath, wallClockPackages)
+	case "goroutine":
+		if inAny(pkgPath, goroutineExtra) {
+			return true
+		}
+		return inAny(pkgPath, desPackages) && !inAny(pkgPath, wallClockPackages)
+	case "spanend":
+		return true
+	case "detmap":
+		return inAny(pkgPath, deterministicOutputPackages)
+	case "unitcast":
+		return !inAny(pkgPath, unitcastExempt)
+	}
+	return true
+}
+
+// inAny reports whether path equals one of the roots or lies beneath one.
+func inAny(path string, roots []string) bool {
+	for _, r := range roots {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestPolicyScoping(t *testing.T) {
+	cases := []struct {
+		analyzer, path string
+		want           bool
+	}{
+		// walltime: simulation packages yes, wall-clock bridges no.
+		{"walltime", "hamoffload/internal/simtime", true},
+		{"walltime", "hamoffload/internal/backend/dmab", true},
+		{"walltime", "hamoffload/internal/backend/veob", true},
+		{"walltime", "hamoffload/internal/backend/locb", true},
+		{"walltime", "hamoffload/bench", true},
+		{"walltime", "hamoffload/internal/backend/tcpb", false},
+		{"walltime", "hamoffload/internal/backend/mpib", false},
+		{"walltime", "hamoffload/internal/trace", false}, // owns WallClock
+		{"walltime", "hamoffload/examples/tcpcluster", false},
+
+		// goroutine: DES set plus the runtime core.
+		{"goroutine", "hamoffload/internal/simtime", true},
+		{"goroutine", "hamoffload/internal/core", true},
+		{"goroutine", "hamoffload/internal/backend/tcpb", false},
+		{"goroutine", "hamoffload/internal/backend/mpib", false},
+
+		// spanend: structural, everywhere.
+		{"spanend", "hamoffload/internal/dma", true},
+		{"spanend", "hamoffload/internal/backend/tcpb", true},
+		{"spanend", "hamoffload/examples/quickstart", true},
+
+		// detmap: deterministic-output paths only.
+		{"detmap", "hamoffload/internal/trace", true},
+		{"detmap", "hamoffload/internal/ham", true},
+		{"detmap", "hamoffload/cmd/veinfo", true},
+		{"detmap", "hamoffload/machine", false},
+		{"detmap", "hamoffload/internal/backend/tcpb", false},
+
+		// unitcast: everywhere except the unit-owning packages.
+		{"unitcast", "hamoffload/internal/units", false},
+		{"unitcast", "hamoffload/internal/simtime", false},
+		{"unitcast", "hamoffload/internal/dma", true},
+		{"unitcast", "hamoffload/internal/trace", true},
+	}
+	for _, c := range cases {
+		if got := Applies(c.analyzer, c.path); got != c.want {
+			t.Errorf("Applies(%q, %q) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}
+
+// TestPolicyRootsExist keeps the scoping tables honest across refactors:
+// every path the policy names must still resolve to at least one package in
+// the module, or the protection silently evaporates on a rename.
+func TestPolicyRootsExist(t *testing.T) {
+	// The test runs inside internal/analysis, so ask by module path rather
+	// than by ./... to cover the whole module.
+	out, err := exec.Command("go", "list", "hamoffload/...").Output()
+	if err != nil {
+		t.Fatalf("go list hamoffload/...: %v", err)
+	}
+	existing := strings.Split(strings.TrimSpace(string(out)), "\n")
+	var roots []string
+	roots = append(roots, desPackages...)
+	roots = append(roots, wallClockPackages...)
+	roots = append(roots, goroutineExtra...)
+	roots = append(roots, deterministicOutputPackages...)
+	roots = append(roots, unitcastExempt...)
+	for _, root := range roots {
+		found := false
+		for _, pkg := range existing {
+			if pkg == root || strings.HasPrefix(pkg, root+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("policy names %q, but no such package exists; update internal/analysis/policy.go", root)
+		}
+	}
+}

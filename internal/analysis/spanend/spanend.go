@@ -1,0 +1,261 @@
+// Package spanend checks that trace-span closers are closed on every path.
+//
+// Tracer.Span and NodeTracer.Begin open a span and return a func() that
+// closes it. A closer that is dropped, assigned to _, or skipped by an
+// early return leaves the span open forever: the Chrome export and the
+// Fig. 9 phase breakdown silently lose that phase, and the conformance
+// contract (every offload carries encode/call/execute/wait spans) breaks
+// only at runtime, on the error path nobody exercises. This is the
+// lostcancel check, retargeted at span closers.
+//
+// The analyzer recognises closer-producing calls structurally: a method
+// named Span or Begin whose result is a bare func(). For a closer bound to
+// a variable it then demands, for every return statement after the binding,
+// that the closer was deferred or called at an earlier source position.
+// That position-based approximation (rather than a full CFG) catches the
+// real bug class — err-check returns between Begin and the closing call —
+// while accepting both idioms that fix it: defer, or closing before the
+// error check. Closers that escape (returned, stored, passed on) transfer
+// ownership and are accepted.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hamoffload/internal/analysis"
+)
+
+// Analyzer flags span closers that are dropped or skipped on a return path.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "closers returned by Tracer.Span/NodeTracer.Begin must be deferred or " +
+		"called on every path, or the span never closes",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Span" && sel.Sel.Name != "Begin") {
+				return true
+			}
+			if !returnsCloser(pass, call) {
+				return true
+			}
+			checkCloser(pass, parents, call, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsCloser reports whether call's single result is a bare func().
+func returnsCloser(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypesInfo.TypeOf(call).(*types.Signature)
+	return ok && sig.Recv() == nil && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// checkCloser classifies how the closer produced at call is consumed.
+func checkCloser(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr, name string) {
+	switch p := parents[call].(type) {
+	case *ast.CallExpr:
+		// x.Begin(...)() — immediately invoked; any surrounding context
+		// (defer, statement, argument) consumes a closed span.
+		return
+	case *ast.DeferStmt:
+		if p.Call == call {
+			pass.Reportf(call.Pos(),
+				"defer %s(...) defers the opener, not the closer; write `defer %s(...)()`",
+				name, name)
+		}
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(),
+			"closer returned by %s is discarded; the span never closes", name)
+	case *ast.AssignStmt:
+		checkAssigned(pass, parents, p, call, name)
+	default:
+		// Return value, composite literal, argument, var decl initializer:
+		// the closer escapes and ownership transfers to the consumer.
+	}
+}
+
+// checkAssigned handles `end := x.Begin(...)`: the bound closer must be
+// used, and used before every subsequent return.
+func checkAssigned(pass *analysis.Pass, parents map[ast.Node]ast.Node, as *ast.AssignStmt, call *ast.CallExpr, name string) {
+	id := lhsFor(as, call)
+	if id == nil {
+		return // assigned to a field or index expression: escapes
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"closer returned by %s is assigned to _; the span never closes", name)
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	body := enclosingFuncBody(parents, as)
+	if body == nil {
+		return
+	}
+
+	var deferred, called []token.Pos
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || use.Pos() <= as.End() || pass.TypesInfo.Uses[use] != obj {
+			return true
+		}
+		switch p := parents[use].(type) {
+		case *ast.CallExpr:
+			if p.Fun == use {
+				if d, ok := parents[p].(*ast.DeferStmt); ok && d.Call == p {
+					deferred = append(deferred, use.Pos())
+				} else {
+					called = append(called, use.Pos())
+				}
+				return true
+			}
+			escapes = true // passed as an argument
+		case *ast.AssignStmt:
+			// Re-assignment of the variable is not a use; `_ = end` only
+			// silences the compiler and closes nothing. Assignment to a
+			// real destination hands the closer on.
+			if !onLHS(p, use) && !allBlankLHS(p) {
+				escapes = true
+			}
+		default:
+			escapes = true // returned, stored, compared, ...
+		}
+		return true
+	})
+
+	if escapes {
+		return
+	}
+	if len(deferred) == 0 && len(called) == 0 {
+		pass.Reportf(call.Pos(),
+			"closer %s returned by %s is never called; the span never closes", id.Name, name)
+		return
+	}
+	for _, ret := range returnsAfter(body, as.End()) {
+		if !closedBefore(ret.Pos(), deferred, called) {
+			pass.Reportf(call.Pos(),
+				"closer %s returned by %s is not closed on the return path at line %d; "+
+					"defer it or call it before returning",
+				id.Name, name, pass.Fset.Position(ret.Pos()).Line)
+			return // one report per closer is enough
+		}
+	}
+}
+
+// closedBefore reports whether some defer or call of the closer precedes
+// pos in the source.
+func closedBefore(pos token.Pos, deferred, called []token.Pos) bool {
+	for _, p := range deferred {
+		if p < pos {
+			return true
+		}
+	}
+	for _, p := range called {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsAfter collects the return statements of body (not of nested
+// function literals) positioned after from.
+func returnsAfter(body *ast.BlockStmt, from token.Pos) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its returns exit the literal, not this function
+		case *ast.ReturnStmt:
+			if n.Pos() > from {
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// onLHS reports whether id is one of the assignment's destinations.
+func onLHS(as *ast.AssignStmt, id *ast.Ident) bool {
+	for _, lhs := range as.Lhs {
+		if lhs == id {
+			return true
+		}
+	}
+	return false
+}
+
+// allBlankLHS reports whether every destination of the assignment is _.
+func allBlankLHS(as *ast.AssignStmt) bool {
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// lhsFor returns the identifier the call's result is bound to, or nil when
+// the destination is not a plain identifier.
+func lhsFor(as *ast.AssignStmt, call *ast.CallExpr) *ast.Ident {
+	for i, rhs := range as.Rhs {
+		if rhs == call && i < len(as.Lhs) {
+			id, _ := as.Lhs[i].(*ast.Ident)
+			return id
+		}
+	}
+	return nil
+}
+
+// enclosingFuncBody walks up the parent chain to the body of the function
+// containing n.
+func enclosingFuncBody(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
+	for n != nil {
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+		n = parents[n]
+	}
+	return nil
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/analysistest"
+	"hamoffload/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, spanend.Analyzer, "spanend")
+}

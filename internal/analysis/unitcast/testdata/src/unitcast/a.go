@@ -1,0 +1,80 @@
+// Fixture for the unitcast analyzer, exercised against the real units and
+// simtime types (resolved from export data) so the type-identity match is
+// the one hamlint uses on the tree.
+package unitcast
+
+import (
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/units"
+)
+
+// --- accepted ---
+
+func unitArithmetic() simtime.Duration {
+	return 10*simtime.Nanosecond + 3*simtime.Microsecond
+}
+
+func unitConstants() units.Bytes {
+	return 4*units.KiB + 512*units.B
+}
+
+func computedConversion(n int64, f float64) simtime.Duration {
+	// Converting a computed numeric value is fine: the arithmetic context
+	// carries the unit.
+	d := simtime.Duration(n) * simtime.Nanosecond
+	return d + simtime.Duration(f*float64(simtime.Second))
+}
+
+func zeroIsUnitless() (simtime.Duration, units.Bytes, simtime.Time) {
+	return simtime.Duration(0), units.Bytes(0), simtime.Time(0)
+}
+
+func semanticOps(a, b simtime.Time) simtime.Duration {
+	return b.Sub(a) // Time minus Time through the named operation
+}
+
+func fromUnits(d simtime.Duration, b units.Bytes) (int64, float64) {
+	return b.Int64(), d.Seconds() // reading a unit out through its accessors
+}
+
+// --- violations: bare literals ---
+
+func bareDuration() simtime.Duration {
+	return simtime.Duration(1000) // want `bare numeric literal converted to simtime\.Duration`
+}
+
+func bareTime() simtime.Time {
+	return simtime.Time(250_000) // want `bare numeric literal converted to simtime\.Time`
+}
+
+func bareBytes() units.Bytes {
+	return units.Bytes(4096) // want `bare numeric literal converted to units\.Bytes`
+}
+
+func bareNegative() simtime.Duration {
+	return simtime.Duration(-5) // want `bare numeric literal converted to simtime\.Duration`
+}
+
+func bareFloat() units.Bytes {
+	return units.Bytes(1.5e9) // want `bare numeric literal converted to units\.Bytes`
+}
+
+// --- violations: raw casts across unit families ---
+
+func timeAsDuration(t simtime.Time) simtime.Duration {
+	return simtime.Duration(t) // want `raw cast from simtime\.Time to simtime\.Duration`
+}
+
+func durationAsTime(d simtime.Duration) simtime.Time {
+	return simtime.Time(d) // want `raw cast from simtime\.Duration to simtime\.Time`
+}
+
+func bytesAsDuration(b units.Bytes) simtime.Duration {
+	return simtime.Duration(b) // want `raw cast from units\.Bytes to simtime\.Duration`
+}
+
+// --- suppression ---
+
+func suppressed() simtime.Duration {
+	return simtime.Duration(800) //lint:allow unitcast fixture demonstrates suppression
+}

@@ -1,0 +1,110 @@
+// Package unitcast stops byte counts and picosecond quantities from
+// crossing type boundaries as bare numbers.
+//
+// units.Bytes and simtime.Duration/Time exist so that a byte count can
+// never be charged as a duration (or vice versa) without the compiler
+// noticing. Two conversion shapes defeat that protection while still
+// type-checking:
+//
+//   - a bare numeric literal cast into a unit type — simtime.Duration(1000)
+//     reads as "1000 of something"; 1000*simtime.Nanosecond or
+//     4*units.KiB carries its unit in the expression;
+//   - a raw cast between unit families (Time↔Duration, Bytes↔Duration) —
+//     those must go through the semantic operations (Time.Sub, Time.Add,
+//     simtime.BytesOver) that say what the conversion means.
+//
+// Literal 0 is exempt: zero is zero in every unit. The units and simtime
+// packages themselves are exempted by policy — they own the types.
+package unitcast
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hamoffload/internal/analysis"
+)
+
+// Analyzer flags unit-blind conversions involving units.Bytes and
+// simtime.Duration/Time.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcast",
+	Doc: "conversions to units.Bytes/simtime.Duration/simtime.Time must carry their " +
+		"unit (3*units.KiB, 10*simtime.Nanosecond) and never cast raw between unit types",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := unitName(tv.Type)
+			if dst == "" {
+				return true
+			}
+			arg := unwrap(call.Args[0])
+			if lit, ok := arg.(*ast.BasicLit); ok &&
+				(lit.Kind == token.INT || lit.Kind == token.FLOAT) {
+				if lit.Value != "0" {
+					pass.Reportf(call.Pos(),
+						"bare numeric literal converted to %s; spell the unit out "+
+							"(e.g. 4*units.KiB, 10*simtime.Nanosecond) so readers see what %s means",
+						dst, lit.Value)
+				}
+				return true
+			}
+			if src := unitName(pass.TypesInfo.TypeOf(call.Args[0])); src != "" && src != dst {
+				pass.Reportf(call.Pos(),
+					"raw cast from %s to %s; convert through the semantic operation "+
+						"(Time.Sub/Add, Span.Dur, simtime.BytesOver) instead", src, dst)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unwrap strips parentheses and numeric sign operators.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.SUB && x.Op != token.ADD {
+				return e
+			}
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// unitName returns the qualified name of t when t is one of the guarded
+// unit types, and "" otherwise.
+func unitName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Pkg().Path() == "hamoffload/internal/units" && obj.Name() == "Bytes":
+		return "units.Bytes"
+	case obj.Pkg().Path() == "hamoffload/internal/simtime" &&
+		(obj.Name() == "Duration" || obj.Name() == "Time"):
+		return "simtime." + obj.Name()
+	}
+	return ""
+}

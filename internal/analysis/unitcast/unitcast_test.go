@@ -1,0 +1,12 @@
+package unitcast_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/analysistest"
+	"hamoffload/internal/analysis/unitcast"
+)
+
+func TestUnitcast(t *testing.T) {
+	analysistest.Run(t, unitcast.Analyzer, "unitcast")
+}

@@ -1,0 +1,35 @@
+// Fixture for the walltime analyzer: wall-clock reads must be flagged,
+// clock-free uses of package time (types, constants, arithmetic) must not.
+package walltime
+
+import "time"
+
+func bad() {
+	_ = time.Now()                       // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)         // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})          // want `time\.Since reads the wall clock`
+	_ = time.Until(time.Time{})          // want `time\.Until reads the wall clock`
+	_ = time.Tick(time.Second)           // want `time\.Tick reads the wall clock`
+	_ = time.After(time.Second)          // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second)       // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)      // want `time\.NewTicker reads the wall clock`
+	_ = time.AfterFunc(time.Second, nil) // want `time\.AfterFunc reads the wall clock`
+}
+
+// indirect references (not just calls) are clock reads too.
+func indirect() func() time.Time {
+	return time.Now // want `time\.Now reads the wall clock`
+}
+
+func allowed() {
+	// Pure data: durations, formatting, zero values — no clock involved.
+	d := 5 * time.Second
+	_ = d.String()
+	_ = time.Duration(42) * time.Nanosecond
+	_ = time.Time{}.IsZero()
+	_ = time.RFC3339
+}
+
+func suppressed() {
+	_ = time.Now() //lint:allow walltime fixture demonstrates suppression
+}

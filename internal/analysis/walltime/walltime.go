@@ -1,0 +1,61 @@
+// Package walltime forbids wall-clock time in simulation packages.
+//
+// The DES engine's whole guarantee — every run of the same program is
+// bit-for-bit reproducible, and traced runs are identical to untraced ones
+// — holds only if simulated components never observe the host clock. One
+// stray time.Now in a backend silently turns a deterministic experiment
+// (Fig. 9 breakdowns, Tables I/III) into a flaky one. Simulation code must
+// take time from *simtime.Proc / trace.Clock; the wall-clock backends and
+// trace.WallClock are exempted by policy, not by this analyzer.
+package walltime
+
+import (
+	"go/ast"
+
+	"hamoffload/internal/analysis"
+)
+
+// Analyzer flags references to wall-clock functions of package time.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Sleep/Since/... in simulation packages; " +
+		"the DES clock (simtime.Proc.Now, Proc.Sleep) is the only time source there",
+	Run: run,
+}
+
+// forbidden lists the package-time functions that observe or depend on the
+// host clock. Pure data types (time.Duration arithmetic, constants) stay
+// legal: they carry no clock reading.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbidden[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; simulation code must use the DES clock "+
+						"(simtime.Proc.Now/Sleep or a trace.Clock)", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

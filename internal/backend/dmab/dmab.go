@@ -275,10 +275,11 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	}
 	h.p.Sleep(simtime.BytesOver(int64(len(msg)), c.card.Timing.HostMemCopyRate))
 	endFlag := h.nt.Begin(trace.PhaseFlagWrite, "dmab-flag-write", c.mid(slot, seq))
-	if err := h.host.Mem.WriteUint64(memA(base+c.lay.recvFlagOff(slot)), slots.Encode(seq, len(msg))); err != nil {
-		return nil, err
-	}
+	werr := h.host.Mem.WriteUint64(memA(base+c.lay.recvFlagOff(slot)), slots.Encode(seq, len(msg)))
 	endFlag()
+	if werr != nil {
+		return nil, werr
+	}
 	hd := &handle{target: target, slot: slot, seq: seq}
 	c.inUse[slot] = hd
 	h.nt.Since(trace.PhaseCall, "dmab-call", c.mid(slot, seq), callStart)

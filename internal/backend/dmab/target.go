@@ -201,10 +201,12 @@ func (t *Target) Serve(s core.Server) error {
 		endFetch := t.nt.Begin(trace.PhaseFetch, "dmab-fetch", mid)
 		if err := udma.Post(t.kctx.P, dma.Raw, pcie.Down,
 			memA(t.st.stageVEHVA), memA(t.st.shmVEHVA+lay.recvBufOff(next)), int64(n)); err != nil {
+			endFetch()
 			return err
 		}
 		msg := make([]byte, n)
 		if err := card.Mem.HBM.ReadAt(msg, memA(t.st.stageAddr)); err != nil {
+			endFetch()
 			return err
 		}
 		t.kctx.P.Sleep(tm.HAMVEOverhead)
@@ -212,10 +214,11 @@ func (t *Target) Serve(s core.Server) error {
 
 		resp := s.Dispatch(msg)
 		endResult := t.nt.Begin(trace.PhaseResult, "dmab-result", mid)
-		if err := t.respond(lay, next, seq[next], resp); err != nil {
-			return err
-		}
+		rerr := t.respond(lay, next, seq[next], resp)
 		endResult()
+		if rerr != nil {
+			return rerr
+		}
 		seq[next]++
 		next = (next + 1) % lay.nbuf
 	}

@@ -167,6 +167,7 @@ func (t *Target) Serve(s core.Server) error {
 		endFetch := t.nt.Begin(trace.PhaseFetch, "veob-fetch", mid)
 		msg := make([]byte, n)
 		if err := card.Mem.HBM.ReadAt(msg, memA(lay.recvBufAddr(next))); err != nil {
+			endFetch()
 			return err
 		}
 		t.kctx.P.Sleep(simtime.BytesOver(int64(n), tm.VEMemCopyRate) + tm.HAMVEOverhead)
@@ -174,10 +175,11 @@ func (t *Target) Serve(s core.Server) error {
 
 		resp := s.Dispatch(msg)
 		endResult := t.nt.Begin(trace.PhaseResult, "veob-result", mid)
-		if err := t.respond(lay, next, flagSeqOf(flag), resp); err != nil {
-			return err
-		}
+		rerr := t.respond(lay, next, flagSeqOf(flag), resp)
 		endResult()
+		if rerr != nil {
+			return rerr
+		}
 		next = (next + 1) % lay.nbuf
 	}
 	return nil

@@ -273,10 +273,11 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 		return nil, err
 	}
 	endFlag := h.nt.Begin(trace.PhaseFlagWrite, "veob-flag-write", c.mid(slot, seq))
-	if err := c.proc.WriteMem(h.p, c.lay.recvFlagAddr(slot), c.bounce, slots.FlagBits); err != nil {
-		return nil, err
-	}
+	werr := c.proc.WriteMem(h.p, c.lay.recvFlagAddr(slot), c.bounce, slots.FlagBits)
 	endFlag()
+	if werr != nil {
+		return nil, werr
+	}
 	hd := &handle{target: target, slot: slot, seq: seq}
 	c.inUse[slot] = hd
 	h.nt.Since(trace.PhaseCall, "veob-call", c.mid(slot, seq), callStart)

@@ -29,7 +29,7 @@ type NodeDescriptor struct {
 }
 
 // Handle identifies an in-flight offload at the backend level.
-type Handle interface{}
+type Handle any
 
 // LocalMemory is the target-local memory a node's built-in allocate/free
 // handlers and kernel buffer accessors operate on.

@@ -16,7 +16,7 @@ type Proc struct {
 	done      bool
 	parked    bool
 	blockedOn string // human-readable label for deadlock diagnostics
-	panicked  interface{}
+	panicked  any
 }
 
 // Name returns the name the process was spawned with.

@@ -74,6 +74,10 @@ func (d Duration) String() string {
 // String formats the timestamp as a duration since simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
+// Microseconds returns the time since simulation start as a floating-point
+// microsecond count — the unit of the Chrome trace-event format.
+func (t Time) Microseconds() float64 { return Duration(t).Microseconds() }
+
 // PerByte converts a transfer rate in bytes/second into the duration one byte
 // occupies, for serialization-delay computations. Rates below 1 B/s are
 // rejected at construction time by the callers in internal/pcie.

@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-
-	"hamoffload/internal/simtime"
 )
 
 // chromeEvent is one entry of the Chrome trace-event format
@@ -85,7 +83,7 @@ func (t *Tracer) ExportChrome(w io.Writer) error {
 	for _, s := range spans {
 		pid := pidOf(s)
 		tid := tidOf(pid, s.Tid)
-		dur := simtime.Duration(s.End - s.Start).Microseconds()
+		dur := s.Dur().Microseconds()
 		if dur <= 0 {
 			dur = 0.001
 		}
@@ -101,7 +99,7 @@ func (t *Tracer) ExportChrome(w io.Writer) error {
 		}
 		events = append(events, chromeEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
-			Ts: simtime.Duration(s.Start).Microseconds(), Dur: dur,
+			Ts: s.Start.Microseconds(), Dur: dur,
 			Pid: pid, Tid: tid, Args: args,
 		})
 	}
