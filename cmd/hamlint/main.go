@@ -1,13 +1,14 @@
 // Command hamlint runs the repository's invariant analyzers (walltime,
-// spanend, detmap, goroutine, unitcast) over the given packages. It is the
-// lint half of `make check`:
+// spanend, detmap, goroutine, unitcast, flagorder, acqrel, afterfree) over
+// the given packages. It is the lint half of `make check`:
 //
 //	go run ./cmd/hamlint ./...
 //
 // Findings print as file:line:col: [analyzer] message and make the command
-// exit 1. Each analyzer's contract — and the simulator invariant behind it
-// — is documented in docs/LINTING.md; a finding can be suppressed at the
-// offending line with `//lint:allow <analyzer> <justification>`.
+// exit 1; -json emits them as a sorted JSON array instead. Each analyzer's
+// contract — and the simulator invariant behind it — is documented in
+// docs/LINTING.md; a finding can be suppressed at the offending line with
+// `//lint:allow <analyzer> <justification>`.
 package main
 
 import (
@@ -20,8 +21,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hamlint [-list] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: hamlint [-list] [-json] [packages]\n\n"+
 			"Runs the hamoffload invariant analyzers over the packages\n"+
 			"(default ./...). See docs/LINTING.md.\n")
 		flag.PrintDefaults()
@@ -37,5 +39,5 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(hamlint.Main(".", patterns, os.Stdout))
+	os.Exit(hamlint.Main(".", patterns, os.Stdout, hamlint.Options{JSON: *jsonOut}))
 }

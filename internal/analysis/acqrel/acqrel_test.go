@@ -1,0 +1,12 @@
+package acqrel_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/acqrel"
+	"hamoffload/internal/analysis/analysistest"
+)
+
+func TestAcqrel(t *testing.T) {
+	analysistest.Run(t, acqrel.Analyzer, "acqrel")
+}

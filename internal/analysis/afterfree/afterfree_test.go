@@ -1,0 +1,12 @@
+package afterfree_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/afterfree"
+	"hamoffload/internal/analysis/analysistest"
+)
+
+func TestAfterfree(t *testing.T) {
+	analysistest.Run(t, afterfree.Analyzer, "afterfree")
+}

@@ -1,0 +1,81 @@
+// Fixture for the afterfree analyzer, exercising the real internal/mem
+// allocator.
+package afterfree
+
+import "hamoffload/internal/mem"
+
+func use(a mem.Addr) {}
+
+// --- accepted idioms ---
+
+func allocUseFree(a *mem.Allocator) {
+	addr, _ := a.Alloc(64)
+	use(addr)
+	_ = a.Free(addr)
+}
+
+// A deferred Free runs after every use in the body.
+func deferredFree(a *mem.Allocator) {
+	addr, _ := a.Alloc(64)
+	defer func() { _ = a.Free(addr) }()
+	use(addr)
+	use(addr + 8)
+}
+
+// Re-allocation into the same variable kills the freed fact.
+func reallocated(a *mem.Allocator) {
+	addr, _ := a.Alloc(64)
+	_ = a.Free(addr)
+	addr, _ = a.Alloc(128)
+	use(addr)
+	_ = a.Free(addr)
+}
+
+// Frees of distinct addresses do not poison each other.
+func twoAllocations(a *mem.Allocator) {
+	x, _ := a.Alloc(64)
+	y, _ := a.Alloc(64)
+	_ = a.Free(x)
+	use(y)
+	_ = a.Free(y)
+}
+
+// --- violations ---
+
+func useAfterFree(a *mem.Allocator) {
+	addr, _ := a.Alloc(64)
+	_ = a.Free(addr)
+	use(addr) // want `use of addr after Free`
+}
+
+func doubleFree(a *mem.Allocator) {
+	addr, _ := a.Alloc(64)
+	_ = a.Free(addr)
+	_ = a.Free(addr) // want `use of addr after Free`
+}
+
+// Freed on one branch only — the use may still follow the Free.
+func mayBeFreed(a *mem.Allocator, cond bool) {
+	addr, _ := a.Alloc(64)
+	if cond {
+		_ = a.Free(addr)
+	}
+	use(addr) // want `use of addr after Free`
+}
+
+// Freed inside a loop, used in the next iteration — and the repeated Free
+// is itself a double free on every iteration after the first.
+func freedInLoop(a *mem.Allocator, n int) {
+	addr, _ := a.Alloc(64)
+	for i := 0; i < n; i++ {
+		use(addr)        // want `use of addr after Free`
+		_ = a.Free(addr) // want `use of addr after Free`
+	}
+}
+
+// Suppression works as everywhere else.
+func suppressed(a *mem.Allocator) {
+	addr, _ := a.Alloc(64)
+	_ = a.Free(addr)
+	use(addr) //lint:allow afterfree fixture: proves suppression
+}

@@ -32,8 +32,14 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant the analyzer
 	// protects and why it matters for the simulator.
 	Doc string
-	// Run performs the check on one package.
+	// Run performs the check on one package. It may be nil for analyzers
+	// that only operate module-wide through RunModule.
 	Run func(*Pass) error
+	// RunModule, when non-nil, performs an additional interprocedural check
+	// over every loaded package at once (e.g. call-graph traversals that
+	// cross package boundaries). It runs once per hamlint invocation, after
+	// the per-package passes.
+	RunModule func(*ModulePass) error
 }
 
 // A Diagnostic is one finding, resolved to a concrete source position.
@@ -124,6 +130,9 @@ func Run(pkg *Package, analyzers []*Analyzer, applies func(analyzer, pkgPath str
 	idx := buildAllowIndex(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // module-only analyzer
+		}
 		if applies != nil && !applies(a.Name, pkg.Path) {
 			continue
 		}
@@ -143,6 +152,13 @@ func Run(pkg *Package, analyzers []*Analyzer, applies func(analyzer, pkgPath str
 			}
 		}
 	}
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer —
+// the stable order every output mode (text, JSON, tests) relies on.
+func SortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -156,5 +172,81 @@ func Run(pkg *Package, analyzers []*Analyzer, applies func(analyzer, pkgPath str
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// A ModulePass carries one analyzer's module-wide run over every loaded
+// package at once. Interprocedural analyzers use it to follow calls across
+// package boundaries.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Fset is the file set shared by every loaded package.
+	Fset *token.FileSet
+	// Pkgs are the loaded root packages, sorted by import path.
+	Pkgs []*Package
+	// Applies is the scoping predicate the run was configured with (nil =
+	// everything applies). Module passes consult it to pick their source
+	// packages; RunModule itself is never skipped by it.
+	Applies func(analyzer, pkgPath string) bool
+
+	diags []Diagnostic
+}
+
+// Reportf records a module-wide finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunModule applies the module-wide (RunModule) phase of the given analyzers
+// to the full package set and returns the surviving findings in source
+// order. //lint:allow suppressions from any loaded file are honoured, and a
+// finding whose position lies in a loaded package that the applies predicate
+// excludes for the analyzer is dropped — the same scoping rule the
+// per-package phase enforces.
+func RunModule(pkgs []*Package, analyzers []*Analyzer, applies func(analyzer, pkgPath string) bool) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	idx := allowIndex{}
+	fileOwner := map[string]string{} // filename → import path
+	for _, pkg := range pkgs {
+		for file, lines := range buildAllowIndex(pkg.Fset, pkg.Files) {
+			if idx[file] == nil {
+				idx[file] = lines
+				continue
+			}
+			for line, names := range lines {
+				idx[file][line] = append(idx[file][line], names...)
+			}
+		}
+		for _, f := range pkg.Files {
+			fileOwner[pkg.Fset.Position(f.Pos()).Filename] = pkg.Path
+		}
+	}
+
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, Applies: applies}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s (module pass): %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if idx.allows(d) {
+				continue
+			}
+			if owner, ok := fileOwner[d.Pos.Filename]; ok && applies != nil && !applies(a.Name, owner) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	SortDiagnostics(out)
 	return out, nil
 }

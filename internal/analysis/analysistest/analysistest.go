@@ -20,6 +20,7 @@ import (
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"os/exec"
@@ -44,18 +45,48 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
 	}
-	check(t, p, diags)
+	check(t, []*analysis.Package{p}, diags)
 }
 
-// load parses and type-checks one fixture package.
+// RunModule loads several fixture packages under testdata/src into one
+// shared file set — listed dependencies-first, so later fixtures may import
+// earlier ones by their bare fixture name — applies the analyzer's
+// module-wide pass under the given scoping predicate, and checks the
+// findings against the // want comments of every fixture file.
+func RunModule(t *testing.T, a *analysis.Analyzer, applies func(analyzer, pkgPath string) bool, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	local := map[string]*types.Package{}
+	var pkgs []*analysis.Package
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join("testdata", "src", pkgPath)
+		p := loadInto(t, fset, local, dir, pkgPath)
+		local[pkgPath] = p.Types
+		pkgs = append(pkgs, p)
+	}
+	diags, err := analysis.RunModule(pkgs, []*analysis.Analyzer{a}, applies)
+	if err != nil {
+		t.Fatalf("module pass of %s: %v", a.Name, err)
+	}
+	check(t, pkgs, diags)
+}
+
+// load parses and type-checks one fixture package in its own file set.
 func load(t *testing.T, dir, pkgPath string) *analysis.Package {
+	t.Helper()
+	return loadInto(t, token.NewFileSet(), nil, dir, pkgPath)
+}
+
+// loadInto parses and type-checks one fixture package into fset. Imports
+// resolve first against local (fixture packages loaded earlier in the same
+// module set), then against compiler export data.
+func loadInto(t *testing.T, fset *token.FileSet, local map[string]*types.Package, dir, pkgPath string) *analysis.Package {
 	t.Helper()
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil || len(names) == 0 {
 		t.Fatalf("no fixture files in %s (%v)", dir, err)
 	}
 	sort.Strings(names)
-	fset := token.NewFileSet()
 	var files []*ast.File
 	imports := map[string]bool{}
 	for _, name := range names {
@@ -65,22 +96,36 @@ func load(t *testing.T, dir, pkgPath string) *analysis.Package {
 		}
 		files = append(files, f)
 		for _, imp := range f.Imports {
-			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && local[path] == nil {
 				imports[path] = true
 			}
 		}
 	}
 	exports := exportData(t, imports)
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	exporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		return os.Open(exports[path])
 	})
-	pkg, info, err := analysis.Typecheck(fset, pkgPath, files, imp)
+	pkg, info, err := analysis.Typecheck(fset, pkgPath, files, chainImporter{local, exporter})
 	if err != nil {
 		t.Fatalf("fixture %s must type-check: %v", pkgPath, err)
 	}
 	return &analysis.Package{
 		Path: pkgPath, Dir: dir, Fset: fset, Files: files, Types: pkg, TypesInfo: info,
 	}
+}
+
+// chainImporter resolves fixture-local packages before falling back to
+// export data, so module fixtures can import each other.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
 }
 
 // exportData resolves the fixture's imports (and their dependency closure)
@@ -118,28 +163,30 @@ type want struct {
 
 var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
-// check matches diagnostics against the // want comments of the fixture.
-func check(t *testing.T, p *analysis.Package, diags []analysis.Diagnostic) {
+// check matches diagnostics against the // want comments of the fixtures.
+func check(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	var wants []*want
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
-					continue
-				}
-				pos := p.Fset.Position(c.Slash)
-				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
-					expr := m[1]
-					if m[2] != "" {
-						expr = m[2]
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
 					}
-					re, err := regexp.Compile(expr)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+					pos := p.Fset.Position(c.Slash)
+					for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+						expr := m[1]
+						if m[2] != "" {
+							expr = m[2]
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 				}
 			}
 		}

@@ -1,0 +1,510 @@
+// Package cfg builds per-function control-flow graphs from the AST and
+// provides the dataflow machinery the interprocedural hamlint analyzers run
+// on: a generic forward worklist solver, dominator computation, and
+// back-edge classification. Like the rest of internal/analysis it is a
+// deliberately small, stdlib-only sibling of golang.org/x/tools/go/cfg,
+// grown here because the repo builds fully offline.
+//
+// The model: a Graph is a set of basic Blocks. Each block holds the
+// statements (and control expressions — an if condition, a range operand)
+// that execute unconditionally once the block is entered, in source order.
+// Edges follow Go's control statements: if/else, for (with init/cond/post),
+// range, switch (with fallthrough), type switch, select, goto, and labeled
+// break/continue. A return statement edges to the synthetic Exit block; a
+// call to the predeclared panic terminates its block with no successors, so
+// paths that end in panic are invisible to must-reach-exit analyses.
+//
+// Two deliberate approximations, shared with x/tools:
+//
+//   - Expressions are atomic. Short-circuit && / || and function literals
+//     introduce no blocks; analyzers that care about function literals build
+//     a separate Graph per literal body (see Shallow).
+//   - Defers are not woven into the edge structure. The Graph records every
+//     *ast.DeferStmt in Defers; analyzers model "runs at every exit"
+//     explicitly, which is both simpler and more honest than faking edges.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// A Block is a maximal sequence of nodes with a single entry at the top and
+// branching only at the bottom.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable across builds
+	// of the same function, used for deterministic iteration).
+	Index int
+	// Kind labels why the block exists ("entry", "if.then", "for.body",
+	// ...); it is for diagnostics and tests only.
+	Kind string
+	// Nodes are the statements and control expressions executed in order.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is where control enters; Exit is the single synthetic block
+	// every return (and the fall-off-the-end path) edges to. Exit has no
+	// nodes.
+	Entry, Exit *Block
+	// Blocks lists every block, Entry first. Blocks made unreachable by
+	// return/branch statements are retained (with no predecessors) so node
+	// positions stay discoverable.
+	Blocks []*Block
+	// Defers collects every defer statement in the body, in source order.
+	// Deferred calls run at every exit from the function.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.block("entry")
+	b.g.Exit = b.block("exit")
+	b.cur = b.g.Entry
+	b.stmt(body)
+	b.edge(b.cur, b.g.Exit) // falling off the end returns
+	return b.g
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+	// targets is the stack of enclosing breakable/continuable statements.
+	targets *targets
+	// labels maps label names to their blocks: the jump target for goto,
+	// and the break/continue resolution for labeled loops.
+	labels map[string]*labelInfo
+	// pendingLabel is set between a LabeledStmt and the statement it
+	// labels, so for/range/switch/select can claim the label.
+	pendingLabel *labelInfo
+}
+
+type targets struct {
+	prev    *targets
+	label   string
+	breakTo *Block
+	contTo  *Block // nil for switch/select
+}
+
+type labelInfo struct {
+	target *Block // jump target for goto and the labeled statement's entry
+	// breakTo/contTo are set once the labeled statement turns out to be a
+	// loop/switch/select.
+	breakTo, contTo *Block
+}
+
+func (b *builder) block(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// start begins a new block reached from the current one.
+func (b *builder) start(kind string) *Block {
+	blk := b.block(kind)
+	b.edge(b.cur, blk)
+	b.cur = blk
+	return blk
+}
+
+// dead makes the current block an unreachable continuation, used after
+// return/branch/panic so trailing statements still get blocks (and thus
+// positions) without fake edges.
+func (b *builder) dead() {
+	b.cur = b.block("unreachable")
+}
+
+func (b *builder) label(name string) *labelInfo {
+	if b.labels == nil {
+		b.labels = map[string]*labelInfo{}
+	}
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{target: b.block("label." + name)}
+		b.labels[name] = li
+	}
+	return li
+}
+
+// claimLabel consumes the pending label (if any) for a loop/switch/select
+// statement, wiring its break/continue targets.
+func (b *builder) claimLabel(breakTo, contTo *Block) {
+	if b.pendingLabel == nil {
+		return
+	}
+	b.pendingLabel.breakTo = breakTo
+	b.pendingLabel.contTo = contTo
+	b.pendingLabel = nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	// Any statement other than a loop/switch/select consumes a pending
+	// label trivially (the label then only serves goto).
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+	default:
+		b.pendingLabel = nil
+	}
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		b.edge(b.cur, li.target)
+		b.cur = li.target
+		b.pendingLabel = li
+		b.stmt(s.Stmt)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.dead()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(call) {
+			b.dead() // no successors: the path dies here
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// isPanic reports whether call invokes the predeclared panic. The check is
+// purely syntactic (cfg has no type information); a shadowed panic would be
+// misclassified, which the repo does not do.
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		to := b.breakTarget(s.Label)
+		if to != nil {
+			b.edge(b.cur, to)
+		}
+		b.dead()
+	case "continue":
+		to := b.continueTarget(s.Label)
+		if to != nil {
+			b.edge(b.cur, to)
+		}
+		b.dead()
+	case "goto":
+		if s.Label != nil {
+			b.edge(b.cur, b.label(s.Label.Name).target)
+		}
+		b.dead()
+	case "fallthrough":
+		// Wired by switchStmt via the fallthrough map; the clause builder
+		// records the statement so the edge to the next clause body can be
+		// added there. Nothing to do here — switchStmt inspects the last
+		// statement of each clause.
+	}
+}
+
+func (b *builder) breakTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if li := b.labels[label.Name]; li != nil {
+			return li.breakTo
+		}
+		return nil
+	}
+	for t := b.targets; t != nil; t = t.prev {
+		if t.breakTo != nil {
+			return t.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if li := b.labels[label.Name]; li != nil {
+			return li.contTo
+		}
+		return nil
+	}
+	for t := b.targets; t != nil; t = t.prev {
+		if t.contTo != nil {
+			return t.contTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	head := b.cur
+
+	join := b.block("if.join")
+
+	then := b.block("if.then")
+	b.edge(head, then)
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		els := b.block("if.else")
+		b.edge(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	head := b.start("for.head")
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	join := b.block("for.join")
+	var post *Block
+	contTo := head
+	if s.Post != nil {
+		post = b.block("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		contTo = post
+	}
+	if s.Cond != nil {
+		b.edge(head, join)
+	}
+	b.claimLabel(join, contTo)
+
+	body := b.block("for.body")
+	b.edge(head, body)
+	b.cur = body
+	b.targets = &targets{prev: b.targets, breakTo: join, contTo: contTo}
+	b.stmt(s.Body)
+	b.targets = b.targets.prev
+	b.edge(b.cur, contTo)
+	b.cur = join
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	head := b.start("range.head")
+	// Only the control expressions live in the head — storing the whole
+	// RangeStmt would duplicate the body's statements into the head block.
+	head.Nodes = append(head.Nodes, s.X)
+	if s.Key != nil {
+		head.Nodes = append(head.Nodes, s.Key)
+	}
+	if s.Value != nil {
+		head.Nodes = append(head.Nodes, s.Value)
+	}
+	join := b.block("range.join")
+	b.edge(head, join) // the range may be empty
+	b.claimLabel(join, head)
+
+	body := b.block("range.body")
+	b.edge(head, body)
+	b.cur = body
+	b.targets = &targets{prev: b.targets, breakTo: join, contTo: head}
+	b.stmt(s.Body)
+	b.targets = b.targets.prev
+	b.edge(b.cur, head)
+	b.cur = join
+}
+
+// switchStmt handles both expression and type switches; exactly one of tag
+// (expression switch) and assign (type switch) is non-nil, and either may be
+// nil for a bare `switch {}`.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	if assign != nil {
+		b.cur.Nodes = append(b.cur.Nodes, assign)
+	}
+	head := b.cur
+	join := b.block("switch.join")
+	b.claimLabel(join, nil)
+
+	// Pre-create a body block per clause so fallthrough can edge forward.
+	var clauses []*ast.CaseClause
+	var bodies []*Block
+	hasDefault := false
+	for _, st := range body.List {
+		cc := st.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		bodies = append(bodies, b.block("case.body"))
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join) // no case may match
+	}
+	b.targets = &targets{prev: b.targets, breakTo: join}
+	for i, cc := range clauses {
+		blk := bodies[i]
+		b.edge(head, blk)
+		// Case expressions evaluate on the path into the clause.
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		b.cur = blk
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough = true
+				break
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	b.targets = b.targets.prev
+	b.cur = join
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	join := b.block("select.join")
+	b.claimLabel(join, nil)
+	b.targets = &targets{prev: b.targets, breakTo: join}
+	for _, st := range s.Body.List {
+		cc := st.(*ast.CommClause)
+		blk := b.block("comm.body")
+		b.edge(head, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		for _, bs := range cc.Body {
+			b.stmt(bs)
+		}
+		b.edge(b.cur, join)
+	}
+	b.targets = b.targets.prev
+	b.cur = join
+}
+
+// Shallow walks n in source order like ast.Inspect but does not descend
+// into function literals: their bodies execute when called, not where they
+// are written, so path-sensitive analyzers treat each literal as its own
+// function (with its own Graph).
+func Shallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// FuncBodies returns every function body in the file paired with a
+// human-readable name: declared functions and methods, plus each function
+// literal (named after its enclosing declaration). Analyzers build one
+// Graph per body.
+func FuncBodies(file *ast.File) []FuncBody {
+	var out []FuncBody
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, FuncBody{Name: fd.Name.Name, Body: fd.Body})
+		collectLits(fd.Body, fd.Name.Name, &out)
+	}
+	// Function literals in package-level variable initializers.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					if lit, ok := v.(*ast.FuncLit); ok {
+						out = append(out, FuncBody{Name: "init", Body: lit.Body})
+						collectLits(lit.Body, "init", &out)
+						continue
+					}
+					collectLits(v, "init", &out)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FuncBody is one analyzable function-like body.
+type FuncBody struct {
+	Name string
+	Body *ast.BlockStmt
+}
+
+func collectLits(n ast.Node, outer string, out *[]FuncBody) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && m != n {
+			*out = append(*out, FuncBody{Name: outer + ".func", Body: lit.Body})
+			collectLits(lit.Body, outer+".func", out)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package flagorder_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/analysistest"
+	"hamoffload/internal/analysis/flagorder"
+)
+
+func TestFlagorder(t *testing.T) {
+	analysistest.Run(t, flagorder.Analyzer, "flagorder")
+}

@@ -1,0 +1,86 @@
+// Fixture for the flagorder analyzer. memdev mimics the write surface of
+// the protocol layers (hostmem/HBM/VEO); the flag classification is driven
+// by the real slots.Encode and by *Flag* address helpers, exactly as in
+// dmab/veob.
+package flagorder
+
+import "hamoffload/internal/backend/slots"
+
+type memdev struct{}
+
+func (memdev) WriteAt(b []byte, addr uint64) error    { return nil }
+func (memdev) WriteUint64(addr, v uint64) error       { return nil }
+func (memdev) StoreBytes(addr uint64, b []byte) error { return nil }
+
+func recvFlagOff(slot int) uint64 { return uint64(slot * slots.FlagBits) }
+func recvBufOff(slot int) uint64  { return 4096 }
+
+// --- accepted idioms ---
+
+// The canonical Fig. 8 send: payload first, flag last.
+func goodSend(m memdev, msg []byte, seq uint32) {
+	_ = m.WriteAt(msg, recvBufOff(0))
+	_ = m.WriteUint64(recvFlagOff(0), slots.Encode(seq, len(msg)))
+}
+
+// A second flag write after the first is a re-publish, not a payload race.
+func goodDoubleFlag(m memdev, seq uint32) {
+	_ = m.WriteUint64(recvFlagOff(0), slots.Encode(seq, 0))
+	_ = m.WriteUint64(recvFlagOff(1), slots.Encode(seq, 0))
+}
+
+// Loop iterations are independent: the flag of iteration i precedes the
+// payload of iteration i+1 only across the back edge.
+func goodLoop(m memdev, msgs [][]byte, seq uint32) {
+	for i, msg := range msgs {
+		_ = m.WriteAt(msg, recvBufOff(i))
+		_ = m.WriteUint64(recvFlagOff(i), slots.Encode(seq, len(msg)))
+	}
+}
+
+// The flag on the early-return path cannot reach the slow path's payload.
+func goodBranchIsolated(m memdev, msg []byte, seq uint32, fast bool) {
+	if fast {
+		_ = m.WriteUint64(recvFlagOff(0), slots.Encode(seq, 0))
+		return
+	}
+	_ = m.WriteAt(msg, recvBufOff(0))
+	_ = m.WriteUint64(recvFlagOff(0), slots.Encode(seq, len(msg)))
+}
+
+// --- violations ---
+
+// Straight-line payload-after-flag: the receiver may read a half-written
+// message.
+func badSend(m memdev, msg []byte, seq uint32) {
+	_ = m.WriteUint64(recvFlagOff(0), slots.Encode(seq, len(msg)))
+	_ = m.WriteAt(msg, recvBufOff(0)) // want `WriteAt may execute after the flag publish at line \d+`
+}
+
+// The overflow branch writes payload after the flag was already raised.
+func badOverflow(m memdev, msg []byte, seq uint32, over bool) {
+	_ = m.WriteUint64(recvFlagOff(0), slots.Encode(seq, len(msg)))
+	if over {
+		_ = m.StoreBytes(recvBufOff(1), msg) // want `StoreBytes may execute after the flag publish at line \d+`
+	}
+}
+
+// Inside one loop body the same-iteration order still matters.
+func badLoop(m memdev, msgs [][]byte, seq uint32) {
+	for i, msg := range msgs {
+		_ = m.WriteUint64(recvFlagOff(i), slots.Encode(seq, len(msg)))
+		_ = m.WriteAt(msg, recvBufOff(i)) // want `WriteAt may execute after the flag publish at line \d+`
+	}
+}
+
+// A *Flag* address helper marks a flag write even without slots.Encode.
+func badFlagHelper(m memdev, msg []byte, word uint64) {
+	_ = m.WriteUint64(recvFlagOff(0), word)
+	_ = m.WriteAt(msg, recvBufOff(0)) // want `WriteAt may execute after the flag publish at line \d+`
+}
+
+// Suppression works as everywhere else.
+func suppressed(m memdev, msg []byte, seq uint32) {
+	_ = m.WriteUint64(recvFlagOff(0), slots.Encode(seq, len(msg)))
+	_ = m.WriteAt(msg, recvBufOff(0)) //lint:allow flagorder fixture: proves suppression
+}

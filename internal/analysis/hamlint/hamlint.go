@@ -5,11 +5,15 @@
 package hamlint
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"hamoffload/internal/analysis"
+	"hamoffload/internal/analysis/acqrel"
+	"hamoffload/internal/analysis/afterfree"
 	"hamoffload/internal/analysis/detmap"
+	"hamoffload/internal/analysis/flagorder"
 	"hamoffload/internal/analysis/goroutine"
 	"hamoffload/internal/analysis/spanend"
 	"hamoffload/internal/analysis/unitcast"
@@ -26,33 +30,86 @@ func Suite() []*analysis.Analyzer {
 		detmap.Analyzer,
 		goroutine.Analyzer,
 		unitcast.Analyzer,
+		flagorder.Analyzer,
+		acqrel.Analyzer,
+		afterfree.Analyzer,
 	}
 }
 
-// Main loads the packages matching patterns (from dir), runs the suite
-// under the scoping policy, and writes findings to out. It returns the
-// process exit code: 0 clean, 1 findings, 2 load failure.
-func Main(dir string, patterns []string, out io.Writer) int {
+// Options configures one Main run.
+type Options struct {
+	// JSON switches the output from file:line:col: [analyzer] message lines
+	// to a single sorted JSON array of findings.
+	JSON bool
+}
+
+// jsonDiag is the stable wire shape of one finding in -json mode.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Main loads the packages matching patterns (from dir), runs the suite —
+// per-package passes plus the module-wide interprocedural passes — under the
+// scoping policy, and writes findings to out. It returns the process exit
+// code: 0 clean, 1 findings, 2 load failure (including an empty package
+// set, which almost always means a mistyped pattern).
+func Main(dir string, patterns []string, out io.Writer, opts Options) int {
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(out, "hamlint: %v\n", err)
 		return 2
 	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(out, "hamlint: patterns %v matched no packages; nothing was checked (mistyped pattern?)\n", patterns)
+		return 2
+	}
 	suite := Suite()
-	issues := 0
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := analysis.Run(pkg, suite, analysis.Applies)
 		if err != nil {
 			fmt.Fprintf(out, "hamlint: %v\n", err)
 			return 2
 		}
-		for _, d := range diags {
-			fmt.Fprintln(out, d)
-			issues++
-		}
+		all = append(all, diags...)
 	}
-	if issues > 0 {
-		fmt.Fprintf(out, "hamlint: %d issue(s); see docs/LINTING.md (//lint:allow <analyzer> <why> suppresses a finding)\n", issues)
+	moduleDiags, err := analysis.RunModule(pkgs, suite, analysis.Applies)
+	if err != nil {
+		fmt.Fprintf(out, "hamlint: %v\n", err)
+		return 2
+	}
+	all = append(all, moduleDiags...)
+	analysis.SortDiagnostics(all)
+
+	if opts.JSON {
+		jd := make([]jsonDiag, 0, len(all))
+		for _, d := range all {
+			jd = append(jd, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jd); err != nil {
+			fmt.Fprintf(out, "hamlint: %v\n", err)
+			return 2
+		}
+		if len(all) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	for _, d := range all {
+		fmt.Fprintln(out, d)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(out, "hamlint: %d issue(s); see docs/LINTING.md (//lint:allow <analyzer> <why> suppresses a finding)\n", len(all))
 		return 1
 	}
 	return 0

@@ -2,7 +2,9 @@ package hamlint_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"slices"
+	"strings"
 	"testing"
 
 	"hamoffload/internal/analysis/hamlint"
@@ -12,19 +14,31 @@ import (
 // one: adding, removing or renaming an analyzer must update docs/LINTING.md
 // and this list together.
 func TestSuiteRegistration(t *testing.T) {
-	want := []string{"walltime", "spanend", "detmap", "goroutine", "unitcast"}
+	want := []string{
+		"walltime", "spanend", "detmap", "goroutine", "unitcast",
+		"flagorder", "acqrel", "afterfree",
+	}
 	var got []string
+	moduleRunners := 0
 	for _, a := range hamlint.Suite() {
 		got = append(got, a.Name)
 		if a.Doc == "" {
 			t.Errorf("analyzer %s has no Doc", a.Name)
 		}
-		if a.Run == nil {
-			t.Errorf("analyzer %s has no Run", a.Name)
+		if a.Run == nil && a.RunModule == nil {
+			t.Errorf("analyzer %s has neither Run nor RunModule", a.Name)
+		}
+		if a.RunModule != nil {
+			moduleRunners++
 		}
 	}
 	if !slices.Equal(got, want) {
 		t.Errorf("registered analyzers = %v, want %v", got, want)
+	}
+	// walltime carries the interprocedural phase; losing it would silently
+	// drop the call-graph check.
+	if moduleRunners == 0 {
+		t.Error("no analyzer registers a module-wide (RunModule) phase; walltime should")
 	}
 }
 
@@ -36,7 +50,48 @@ func TestSelfLint(t *testing.T) {
 		t.Skip("self-lint type-checks the whole module")
 	}
 	var buf bytes.Buffer
-	if code := hamlint.Main(".", []string{"hamoffload/..."}, &buf); code != 0 {
+	if code := hamlint.Main(".", []string{"hamoffload/..."}, &buf, hamlint.Options{}); code != 0 {
 		t.Fatalf("hamlint over the repository: exit %d\n%s", code, buf.String())
+	}
+}
+
+// TestEmptyPackageSet pins the hard-error contract: a pattern matching
+// nothing must exit 2 with a clear message, not report a deceptive clean
+// run.
+func TestEmptyPackageSet(t *testing.T) {
+	var buf bytes.Buffer
+	code := hamlint.Main(".", []string{"hamoffload/internal/nosuchdir/..."}, &buf, hamlint.Options{})
+	if code != 2 {
+		t.Fatalf("empty package set: exit %d, want 2\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "matched no packages") {
+		t.Errorf("empty package set message = %q, want it to say 'matched no packages'", buf.String())
+	}
+}
+
+// TestJSONOutput runs one real package in -json mode and checks the output
+// decodes as the documented array shape (empty but non-null on a clean
+// package).
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads real packages")
+	}
+	var buf bytes.Buffer
+	code := hamlint.Main(".", []string{"hamoffload/internal/backend/slots"}, &buf, hamlint.Options{JSON: true})
+	if code != 0 {
+		t.Fatalf("slots package should be clean: exit %d\n%s", code, buf.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, buf.String())
+	}
+	if strings.TrimSpace(buf.String()) == "null" {
+		t.Error("-json must emit [] for a clean run, not null")
 	}
 }

@@ -64,6 +64,41 @@ var unitcastExempt = []string{
 	"hamoffload/internal/simtime",
 }
 
+// flagOrderPackages implement the paper's message protocols (Fig. 5 VEO,
+// Fig. 8 DMA): payload bytes must be written before the flag word that
+// publishes them. flagorder applies here.
+var flagOrderPackages = []string{
+	"hamoffload/internal/backend/dmab",
+	"hamoffload/internal/backend/veob",
+	"hamoffload/internal/backend/slots",
+}
+
+// acqrelExempt packages define the Acquire/Release primitives themselves
+// and may manipulate them unpaired.
+var acqrelExempt = []string{
+	"hamoffload/internal/simtime",
+}
+
+// afterfreeExempt packages implement the allocator and may touch addresses
+// across Free boundaries by design.
+var afterfreeExempt = []string{
+	"hamoffload/internal/mem",
+}
+
+// WallClockSanctioned lists the packages allowed to touch the wall clock:
+// the wall-clock backends plus trace's explicit WallClock bridge. The
+// interprocedural walltime pass stops its call-graph traversal at these
+// packages — a DES package reaching time.Now through them is sanctioned.
+var WallClockSanctioned = []string{
+	"hamoffload/internal/backend/tcpb",
+	"hamoffload/internal/backend/mpib",
+	"hamoffload/internal/trace",
+}
+
+// InAny reports whether path equals one of the roots or lies beneath one.
+// Exported for module-wide analyzers that reuse the policy tables.
+func InAny(path string, roots []string) bool { return inAny(path, roots) }
+
 // Applies reports whether the named analyzer is in force for pkgPath. It is
 // the predicate hamlint passes to Run.
 func Applies(analyzer, pkgPath string) bool {
@@ -81,6 +116,12 @@ func Applies(analyzer, pkgPath string) bool {
 		return inAny(pkgPath, deterministicOutputPackages)
 	case "unitcast":
 		return !inAny(pkgPath, unitcastExempt)
+	case "flagorder":
+		return inAny(pkgPath, flagOrderPackages)
+	case "acqrel":
+		return !inAny(pkgPath, acqrelExempt)
+	case "afterfree":
+		return !inAny(pkgPath, afterfreeExempt)
 	}
 	return true
 }

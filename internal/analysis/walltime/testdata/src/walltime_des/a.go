@@ -1,0 +1,29 @@
+// Fixture DES package for the interprocedural walltime pass: calls into the
+// neutral walltime_util package must be flagged when they transitively read
+// the wall clock, and left alone when they are clock-free. Direct time.*
+// calls are the per-package pass's job and must NOT be reported again by the
+// module pass.
+package walltime_des
+
+import (
+	"time"
+
+	"walltime_util"
+)
+
+func badIndirect() int64 {
+	return walltime_util.Stamp() // want `reaches the wall clock .*Stamp → .*inner → time\.Now`
+}
+
+func goodIndirect() int64 {
+	return walltime_util.Pure()
+}
+
+func directOnly() {
+	// Reported by the per-package pass, not the module pass.
+	_ = time.Now()
+}
+
+func suppressed() int64 {
+	return walltime_util.Stamp() //lint:allow walltime fixture: proves suppression
+}

@@ -1,0 +1,15 @@
+// Fixture helper package for the interprocedural walltime pass: a neutral
+// (un-scoped) utility package hiding a wall-clock read two calls deep. The
+// module pass must see through it; no findings are reported here because
+// the package is outside the walltime policy scope.
+package walltime_util
+
+import "time"
+
+// Stamp reaches the wall clock transitively.
+func Stamp() int64 { return inner() }
+
+func inner() int64 { return time.Now().UnixNano() }
+
+// Pure is clock-free.
+func Pure() int64 { return 42 }

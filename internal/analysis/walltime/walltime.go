@@ -11,16 +11,24 @@ package walltime
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
 
 	"hamoffload/internal/analysis"
+	"hamoffload/internal/analysis/callgraph"
 )
 
-// Analyzer flags references to wall-clock functions of package time.
+// Analyzer flags references to wall-clock functions of package time. The
+// per-package pass catches direct calls; the module pass follows the call
+// graph out of DES packages and catches wall-clock reads hidden behind
+// helpers in neutral (un-scoped) packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "walltime",
 	Doc: "forbid time.Now/Sleep/Since/... in simulation packages; " +
 		"the DES clock (simtime.Proc.Now, Proc.Sleep) is the only time source there",
-	Run: run,
+	Run:       run,
+	RunModule: runModule,
 }
 
 // forbidden lists the package-time functions that observe or depend on the
@@ -58,4 +66,83 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// runModule is the interprocedural phase: from every function in a package
+// the walltime policy scopes, follow the call graph through neutral packages
+// — ones neither scoped (their own pass covers them) nor wall-clock
+// sanctioned (trace's WallClock bridge, the socket backends) — and flag any
+// call whose transitive callees read the wall clock. Direct time.* calls are
+// left to the per-package pass so each finding is reported exactly once.
+func runModule(pass *analysis.ModulePass) error {
+	applies := pass.Applies
+	if applies == nil {
+		applies = analysis.Applies
+	}
+	g := callgraph.Build(pass.Pkgs)
+
+	isSink := func(n *callgraph.Node) bool {
+		return n.Func != nil && n.Func.Pkg() != nil &&
+			n.Func.Pkg().Path() == "time" && forbidden[n.Func.Name()]
+	}
+	sanctioned := func(path string) bool {
+		return analysis.InAny(path, analysis.WallClockSanctioned)
+	}
+	// Traversal may pass only through neutral, source-loaded functions:
+	// scoped packages report their own calls, sanctioned packages absorb
+	// wall-clock use by design, and export-data-only functions have no
+	// bodies to look through anyway.
+	through := func(n *callgraph.Node) bool {
+		return n.Defined && !sanctioned(n.PkgPath) && !applies("walltime", n.PkgPath)
+	}
+
+	for _, pkg := range pass.Pkgs {
+		if !applies("walltime", pkg.Path) {
+			continue
+		}
+		reported := map[token.Pos]bool{}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := g.Node(fn)
+				if node == nil {
+					continue
+				}
+				for _, e := range node.Out {
+					if reported[e.Site] {
+						continue
+					}
+					if isSink(e.Callee) || !through(e.Callee) {
+						continue // direct call (per-package pass) or out of scope
+					}
+					path := g.PathTo(e.Callee, isSink, through)
+					if path == nil {
+						continue
+					}
+					reported[e.Site] = true
+					pass.Reportf(e.Site,
+						"call to %s reaches the wall clock (%s); simulation code must use "+
+							"the DES clock (simtime.Proc.Now/Sleep or a trace.Clock)",
+						e.Callee.Name, chain(e.Callee, path))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// chain renders first → ... → sink for the diagnostic.
+func chain(first *callgraph.Node, path []*callgraph.Edge) string {
+	parts := []string{first.Name}
+	for _, e := range path {
+		parts = append(parts, e.Callee.Name)
+	}
+	return strings.Join(parts, " → ")
 }

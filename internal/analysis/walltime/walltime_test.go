@@ -10,3 +10,13 @@ import (
 func TestWalltime(t *testing.T) {
 	analysistest.Run(t, walltime.Analyzer, "walltime")
 }
+
+// TestWalltimeModule exercises the interprocedural phase: walltime_des plays
+// a DES-scoped package, walltime_util a neutral helper package the traversal
+// must see through.
+func TestWalltimeModule(t *testing.T) {
+	applies := func(analyzer, pkgPath string) bool {
+		return pkgPath == "walltime_des"
+	}
+	analysistest.RunModule(t, walltime.Analyzer, applies, "walltime_util", "walltime_des")
+}

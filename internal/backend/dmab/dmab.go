@@ -179,6 +179,13 @@ func (h *Host) connect(card *veos.Card, self, total int) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A failed connect must not leak the VE process or the shm segment.
+	ok := false
+	defer func() {
+		if !ok {
+			_ = proc.Destroy(h.p)
+		}
+	}()
 	lib, err := proc.LoadLibrary(h.p, LibraryName)
 	if err != nil {
 		return nil, err
@@ -188,6 +195,11 @@ func (h *Host) connect(card *veos.Card, self, total int) (*conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dmab: creating shm segment: %w", err)
 	}
+	defer func() {
+		if !ok {
+			_ = card.Host.ShmRemove(seg.Key)
+		}
+	}()
 
 	ctx := proc.OpenContext(h.p)
 	commInit, err := lib.GetSym(h.p, "ham_dmab_init")
@@ -211,6 +223,7 @@ func (h *Host) connect(card *veos.Card, self, total int) (*conn, error) {
 	}
 	ctx.CallAsync(h.p, hamMain)
 
+	ok = true
 	return &conn{
 		proc:  proc,
 		card:  card,

@@ -166,6 +166,13 @@ func (h *Host) connect(card *veos.Card, self, total int) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A failed connect must not leak the VE process.
+	ok := false
+	defer func() {
+		if !ok {
+			_ = proc.Destroy(h.p)
+		}
+	}()
 	lib, err := proc.LoadLibrary(h.p, LibraryName)
 	if err != nil {
 		return nil, err
@@ -204,6 +211,7 @@ func (h *Host) connect(card *veos.Card, self, total int) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	ok = true
 	return &conn{
 		proc:   proc,
 		card:   card,
@@ -430,10 +438,14 @@ func (h *Host) ChargeScalar(ops int64) {
 	h.p.Sleep(simtime.Duration(float64(ops) / (2.6e9) * float64(simtime.Second)))
 }
 
-// Close implements core.Backend: destroy the VE processes.
+// Close implements core.Backend: release the host-side bounce buffers and
+// destroy the VE processes.
 func (h *Host) Close() error {
 	var firstErr error
 	for _, c := range h.conns {
+		if err := c.card.Host.Free(memA(c.bounce)); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		if err := c.proc.Destroy(h.p); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -66,12 +66,14 @@ func (h *Host) Alloc(size int64) (mem.Addr, error) {
 	return addr, nil
 }
 
-// Free releases an allocation made with Alloc.
+// Free releases an allocation made with Alloc. The range is unmapped while
+// the allocation is still live — once alloc.Free runs, the allocator may
+// re-issue the range, so addr must not be touched afterwards.
 func (h *Host) Free(addr mem.Addr) error {
-	if err := h.alloc.Free(addr); err != nil {
+	if err := h.Mem.Unmap(addr); err != nil {
 		return err
 	}
-	return h.Mem.Unmap(addr)
+	return h.alloc.Free(addr)
 }
 
 // LiveAllocs returns the number of live heap allocations.

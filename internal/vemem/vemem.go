@@ -55,12 +55,14 @@ func (v *VE) Alloc(size int64) (mem.Addr, error) {
 	return addr, nil
 }
 
-// Free releases an allocation made with Alloc.
+// Free releases an allocation made with Alloc. The range is unmapped while
+// the allocation is still live — once alloc.Free runs, the allocator may
+// re-issue the range, so addr must not be touched afterwards.
 func (v *VE) Free(addr mem.Addr) error {
-	if err := v.alloc.Free(addr); err != nil {
+	if err := v.HBM.Unmap(addr); err != nil {
 		return err
 	}
-	return v.HBM.Unmap(addr)
+	return v.alloc.Free(addr)
 }
 
 // LiveAllocs returns the number of live HBM allocations.
