@@ -16,6 +16,7 @@
 //	hambench -exp native-vs-offload   §I: native VE execution vs offloading
 //	hambench -exp remote              §VI outlook: offloading over InfiniBand
 //	hambench -exp putget              public-API data path vs Fig. 10 curves
+//	hambench -exp faults              fault-tolerance overhead on the Fig. 9 path
 //	hambench -exp all                 everything above
 //
 // Additional flags: -hist prints per-offload latency histograms with fig9;
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, all)")
+	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, all)")
 	socket := flag.Int("socket", 0, "VH socket to offload from (fig9)")
 	reps := flag.Int("reps", 0, "timed repetitions per point (0 = defaults)")
 	maxSize := flag.Int64("max-size", (256 * units.MiB).Int64(), "largest transfer size for sweeps")
@@ -273,6 +274,15 @@ func main() {
 			return err
 		}
 		bench.RenderNativeVsOffload(os.Stdout, rows)
+		return nil
+	})
+
+	run("faults", func() error {
+		rows, err := bench.FaultOverhead(*reps)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, "Fault tolerance — empty-offload cost (Fig. 9 path)", rows)
 		return nil
 	})
 

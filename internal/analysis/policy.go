@@ -20,6 +20,7 @@ var desPackages = []string{
 	"hamoffload/internal/simtime",
 	"hamoffload/internal/backend", // minus the wall-clock backends, below
 	"hamoffload/internal/dma",
+	"hamoffload/internal/faults",
 	"hamoffload/internal/veo",
 	"hamoffload/internal/veos",
 	"hamoffload/internal/pcie",
@@ -53,6 +54,7 @@ var goroutineExtra = []string{
 var deterministicOutputPackages = []string{
 	"hamoffload/internal/trace",
 	"hamoffload/internal/ham",
+	"hamoffload/internal/faults",
 	"hamoffload/cmd/veinfo",
 	"hamoffload/cmd/hambench",
 	"hamoffload/bench",

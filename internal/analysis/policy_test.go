@@ -16,6 +16,7 @@ func TestPolicyScoping(t *testing.T) {
 		{"walltime", "hamoffload/internal/backend/dmab", true},
 		{"walltime", "hamoffload/internal/backend/veob", true},
 		{"walltime", "hamoffload/internal/backend/locb", true},
+		{"walltime", "hamoffload/internal/faults", true},
 		{"walltime", "hamoffload/bench", true},
 		{"walltime", "hamoffload/internal/backend/tcpb", false},
 		{"walltime", "hamoffload/internal/backend/mpib", false},
@@ -36,6 +37,7 @@ func TestPolicyScoping(t *testing.T) {
 		// detmap: deterministic-output paths only.
 		{"detmap", "hamoffload/internal/trace", true},
 		{"detmap", "hamoffload/internal/ham", true},
+		{"detmap", "hamoffload/internal/faults", true},
 		{"detmap", "hamoffload/cmd/veinfo", true},
 		{"detmap", "hamoffload/machine", false},
 		{"detmap", "hamoffload/internal/backend/tcpb", false},

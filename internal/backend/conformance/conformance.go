@@ -6,10 +6,12 @@
 package conformance
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/faults"
 	"hamoffload/internal/trace"
 )
 
@@ -166,6 +168,112 @@ func Exercise(t Reporter, rt *core.Runtime, target core.NodeID) {
 	}
 	if _, err := core.Allocate[float64](rt, target, -1); err == nil {
 		t.Errorf("negative allocate accepted")
+	}
+}
+
+// ExerciseErrors pins down the error-propagation side of the contract: a
+// handler error surfaces identically through Future.Get and Future.MustGet
+// (the latter by panicking with the same error), and the backend stays live
+// afterwards. It must run in the host's execution context.
+func ExerciseErrors(t Reporter, rt *core.Runtime, target core.NodeID) {
+	_, getErr := core.Async(rt, target, cfFail.Bind()).Get()
+	if getErr == nil || !strings.Contains(getErr.Error(), "deliberate failure") {
+		t.Errorf("errors: Get = %v (want the handler's deliberate failure)", getErr)
+		return
+	}
+
+	var panicked error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err, ok := r.(error)
+				if !ok {
+					t.Errorf("errors: MustGet panicked with %T %v (want error)", r, r)
+					return
+				}
+				panicked = err
+			}
+		}()
+		core.Async(rt, target, cfFail.Bind()).MustGet()
+	}()
+	if panicked == nil {
+		t.Errorf("errors: MustGet did not panic on a handler error")
+	} else if panicked.Error() != getErr.Error() {
+		t.Errorf("errors: MustGet panic %q differs from Get error %q", panicked, getErr)
+	}
+
+	if v, err := core.Sync(rt, target, cfEcho.Bind(31)); err != nil || v != 31 {
+		t.Errorf("errors: echo after failures = %d, %v", v, err)
+	}
+}
+
+// FaultHooks adapts one backend's failure controls to ExerciseFaults. Inj
+// is the armed injector feeding the backend, if any; Kill fails the target
+// node; Recover (optional) re-establishes it, restarting whatever serve
+// loop the backend needs.
+type FaultHooks struct {
+	Inj     *faults.Injector
+	Kill    func() error
+	Recover func() error
+}
+
+// ExerciseFaults is the fault-tolerance contract: offloads survive armed
+// transient injection (given a retry policy on rt), a killed node fails
+// in-flight and new offloads with core.ErrNodeFailed instead of hanging,
+// and — when the backend supports recovery — offloads succeed again after
+// RecoverNode. It must run in the host's execution context.
+func ExerciseFaults(t Reporter, rt *core.Runtime, target core.NodeID, hooks FaultHooks) {
+	if v, err := core.Sync(rt, target, cfEcho.Bind(11)); err != nil || v != 11 {
+		t.Errorf("faults: pre-fault echo = %d, %v", v, err)
+		return
+	}
+
+	// --- transient faults are survived, not surfaced --------------------------
+	if hooks.Inj != nil {
+		for i := int64(0); i < 16; i++ {
+			if v, err := core.Sync(rt, target, cfEcho.Bind(100+i)); err != nil || v != 100+i {
+				t.Errorf("faults: echo %d under injection = %d, %v", i, v, err)
+			}
+		}
+		if hooks.Inj.Injected() == 0 {
+			t.Errorf("faults: injector armed but nothing fired")
+		}
+	}
+
+	if hooks.Kill == nil {
+		return
+	}
+
+	// --- node failure ----------------------------------------------------------
+	inflight := core.Async(rt, target, cfEcho.Bind(42))
+	if err := hooks.Kill(); err != nil {
+		t.Errorf("faults: kill: %v", err)
+		return
+	}
+	// The in-flight offload raced the kill: a response that made it out is
+	// fine, anything else must resolve to ErrNodeFailed — never a hang.
+	if v, err := inflight.Get(); err == nil {
+		if v != 42 {
+			t.Errorf("faults: in-flight offload across node death = %d (want 42)", v)
+		}
+	} else if !errors.Is(err, core.ErrNodeFailed) {
+		t.Errorf("faults: in-flight offload across node death = %v (want ErrNodeFailed)", err)
+	}
+	if _, err := core.Sync(rt, target, cfEcho.Bind(43)); !errors.Is(err, core.ErrNodeFailed) {
+		t.Errorf("faults: offload to dead node = %v (want ErrNodeFailed)", err)
+	}
+
+	if hooks.Recover == nil {
+		return
+	}
+
+	// --- recovery --------------------------------------------------------------
+	if err := hooks.Recover(); err != nil {
+		t.Errorf("faults: recover: %v", err)
+		return
+	}
+	if v, err := core.Sync(rt, target, cfEcho.Bind(44)); err != nil || v != 44 {
+		t.Errorf("faults: echo after recovery = %d, %v", v, err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package conformance_test
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"hamoffload/internal/backend/locb"
 	"hamoffload/internal/backend/tcpb"
 	"hamoffload/internal/core"
+	"hamoffload/internal/faults"
 	"hamoffload/internal/topology"
 	"hamoffload/internal/trace"
 	"hamoffload/machine"
@@ -112,6 +114,312 @@ func TestClusterConformance(t *testing.T) {
 		defer func() { _ = rt.Finalize() }()
 		conformance.Exercise(t, rt, 1) // local VE
 		conformance.Exercise(t, rt, 2) // remote VE
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrorsConformanceLoopback pins error propagation on the in-process
+// backend.
+func TestErrorsConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewRuntime(tb, "conf-loc-target")
+	host := core.NewRuntime(hb, "conf-loc-host")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseErrors(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestErrorsConformanceTCP pins error propagation over real sockets.
+func TestErrorsConformanceTCP(t *testing.T) {
+	tgt, err := tcpb.Listen("127.0.0.1:0", 1, 2, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetRT := core.NewRuntime(tgt, "conf-tcp-target")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := targetRT.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	hb, err := tcpb.Dial([]string{tgt.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := core.NewRuntime(hb, "conf-tcp-host")
+	conformance.ExerciseErrors(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestErrorsConformanceSimulated pins error propagation on both SX-Aurora
+// protocols.
+func TestErrorsConformanceSimulated(t *testing.T) {
+	for name, connect := range map[string]func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error){
+		"veo": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		},
+		"dma": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := machine.New(machine.Config{VEs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseErrors(t, rt, 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestErrorsConformanceCluster pins error propagation on the InfiniBand
+// cluster backend, local and remote.
+func TestErrorsConformanceCluster(t *testing.T) {
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseErrors(t, rt, 1) // local VE
+		conformance.ExerciseErrors(t, rt, 2) // remote VE
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ftPolicy is the retry policy the fault exercises run under.
+func ftPolicy() core.FaultTolerance {
+	return core.FaultTolerance{
+		MaxRetries:  4,
+		BackoffBase: 2 * machine.Microsecond,
+		BackoffMax:  50 * machine.Microsecond,
+	}
+}
+
+// TestFaultsConformanceLoopback runs the fault-tolerance contract on the
+// in-process backend: op-scheduled send faults, a node kill and a recovery
+// with a restarted serve loop.
+func TestFaultsConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(&faults.Plan{Seed: 42, Rules: []faults.Rule{
+		{Kind: faults.DMAError, Site: faults.SiteConn, Node: 1, AfterOp: 2, Every: 3, Count: 4},
+	}})
+	hb.SetFaultInjector(inj)
+	target := core.NewRuntime(tb, "conf-loc-target")
+	host := core.NewRuntime(hb, "conf-loc-host")
+	host.SetFaultTolerance(ftPolicy())
+
+	var wg sync.WaitGroup
+	dead := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(dead)
+		if err := target.Serve(); !errors.Is(err, core.ErrNodeFailed) {
+			t.Errorf("killed Serve = %v (want ErrNodeFailed)", err)
+		}
+	}()
+	conformance.ExerciseFaults(t, host, 1, conformance.FaultHooks{
+		Inj: inj,
+		Kill: func() error {
+			hb.Kill(1)
+			<-dead // the old serve loop must be gone before recovery restarts it
+			return nil
+		},
+		Recover: func() error {
+			if err := host.RecoverNode(1); err != nil {
+				return err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := target.Serve(); err != nil {
+					t.Errorf("Serve after recovery: %v", err)
+				}
+			}()
+			return nil
+		},
+	})
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestFaultsConformanceTCP runs the fault-tolerance contract over real
+// sockets: send faults are retried, and dropping the connection fails
+// in-flight and new offloads with ErrNodeFailed (no recovery — tcpb cannot
+// redial).
+func TestFaultsConformanceTCP(t *testing.T) {
+	tgt, err := tcpb.Listen("127.0.0.1:0", 1, 2, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.NewRuntime(tgt, "conf-tcp-target").Serve() // dies with the dropped conn
+	}()
+	hb, err := tcpb.Dial([]string{tgt.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(&faults.Plan{Seed: 42, Rules: []faults.Rule{
+		{Kind: faults.DMAError, Site: faults.SiteConn, Node: 1, AfterOp: 2, Every: 3, Count: 4},
+	}})
+	hb.SetFaultInjector(inj)
+	host := core.NewRuntime(hb, "conf-tcp-host")
+	host.SetFaultTolerance(ftPolicy())
+	conformance.ExerciseFaults(t, host, 1, conformance.FaultHooks{
+		Inj:  inj,
+		Kill: func() error { return hb.DropConn(1) },
+	})
+	_ = host.Finalize() // the node is dead; the terminate exchange cannot succeed
+	wg.Wait()
+}
+
+// TestFaultsConformanceSimulated runs the fault-tolerance contract on both
+// SX-Aurora protocols: substrate-level injection from a machine fault plan,
+// a VE process crash and machine-level recovery.
+func TestFaultsConformanceSimulated(t *testing.T) {
+	for name, tc := range map[string]struct {
+		rules   []faults.Rule
+		connect func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error)
+	}{
+		// The VEO protocol rides entirely on privileged DMA, so both the
+		// VEOS stalls and the transfer errors hit its hot path; the op
+		// offsets keep the errors clear of the (unretried) connect sequence.
+		"veo": {
+			rules: []faults.Rule{
+				{Kind: faults.Stall, Site: faults.SiteVEOS, Node: 0,
+					AfterOp: 10, Every: 25, Count: 6, StallFor: 2 * machine.Microsecond},
+				{Kind: faults.DMAError, Site: faults.SitePrivDMA, Node: 0,
+					AfterOp: 40, Every: 17, Count: 2},
+			},
+			connect: func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+				return machine.ConnectVEO(p, m, machine.ProtocolOptions{
+					OffloadTimeout: 10 * machine.Millisecond, Retry: ftPolicy(),
+				})
+			},
+		},
+		// The DMA protocol touches VEOS only at setup (stalls fire there,
+		// harmlessly) and uses user DMA for the VE's message fetches, which
+		// redeliver after an injected failure.
+		"dma": {
+			rules: []faults.Rule{
+				{Kind: faults.Stall, Site: faults.SiteVEOS, Node: 0,
+					AfterOp: 2, Every: 2, Count: 4, StallFor: 2 * machine.Microsecond},
+				{Kind: faults.DMAError, Site: faults.SiteUserDMA, Node: 0,
+					AfterOp: 6, Every: 4, Count: 3},
+			},
+			connect: func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+				return machine.ConnectDMA(p, m, machine.ProtocolOptions{
+					OffloadTimeout: 10 * machine.Millisecond, Retry: ftPolicy(),
+				})
+			},
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			plan := &faults.Plan{Seed: 7, Rules: tc.rules}
+			m, err := machine.New(machine.Config{VEs: 1, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := tc.connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseFaults(t, rt, 1, conformance.FaultHooks{
+					Inj:     m.Timing.Faults,
+					Kill:    func() error { m.Cards[0].Kill(); return nil },
+					Recover: func() error { return rt.RecoverNode(1) },
+				})
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFaultsConformanceCluster runs the fault-tolerance contract on the
+// InfiniBand cluster backend: the local VE is killed and recovered; the
+// remote VE is killed and stays dead (remote recovery is unsupported).
+func TestFaultsConformanceCluster(t *testing.T) {
+	plan := &faults.Plan{Seed: 9, Rules: []faults.Rule{
+		{Kind: faults.Stall, Site: faults.SiteVEOS, Node: 0,
+			AfterOp: 0, Every: 20, Count: 8, StallFor: 2 * machine.Microsecond},
+	}}
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{
+			OffloadTimeout: 10 * machine.Millisecond, Retry: ftPolicy(),
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseFaults(t, rt, 1, conformance.FaultHooks{ // local VE
+			Inj:     cl.Nodes[0].Timing.Faults,
+			Kill:    func() error { cl.Nodes[0].Cards[0].Kill(); return nil },
+			Recover: func() error { return rt.RecoverNode(1) },
+		})
+		conformance.ExerciseFaults(t, rt, 2, conformance.FaultHooks{ // remote VE
+			Inj:  cl.Nodes[1].Timing.Faults,
+			Kill: func() error { cl.Nodes[1].Cards[0].Kill(); return nil },
+		})
+		if err := rt.RecoverNode(2); err == nil {
+			t.Errorf("remote RecoverNode succeeded; want unsupported error")
+		}
 		return nil
 	})
 	if err != nil {

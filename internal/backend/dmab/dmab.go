@@ -12,6 +12,7 @@
 package dmab
 
 import (
+	"errors"
 	"fmt"
 
 	"hamoffload/internal/backend/adapter"
@@ -52,6 +53,10 @@ type Options struct {
 	// TotalNodes overrides the application's node count (default
 	// len(cards)+1); cluster applications span more nodes than one machine.
 	TotalNodes int
+	// OffloadTimeout bounds how long one offload may stay in flight before
+	// Wait gives up with core.ErrOffloadTimeout, measured on the simulated
+	// clock from the start of the wait. Zero waits forever.
+	OffloadTimeout simtime.Duration
 }
 
 func (o *Options) fill() {
@@ -104,9 +109,12 @@ func (l layout) totalSize() int64 {
 	return int64(l.overflowBase()) + int64(l.nbuf*l.bufSize)
 }
 
-// handle tracks one in-flight offload.
+// handle tracks one in-flight offload. It pins the conn it was issued on so
+// stale handles keep failing against a dead conn after RecoverNode builds a
+// fresh one.
 type handle struct {
 	target core.NodeID
+	c      *conn
 	slot   int
 	seq    uint32
 	resp   []byte
@@ -122,6 +130,7 @@ type conn struct {
 	seq   []uint32
 	inUse []*handle
 	next  int
+	dead  bool // VE process crashed; reject work until RecoverNode
 }
 
 // Host is the initiator-side backend on the Vector Host. All methods must
@@ -267,20 +276,22 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.dead || c.card.Crashed() {
+		c.dead = true
+		return nil, fmt.Errorf("dmab: node %d: %w", target, core.ErrNodeFailed)
+	}
 	if len(msg) > c.lay.bufSize || len(msg) > slots.MaxLen {
 		return nil, fmt.Errorf("dmab: message of %d bytes exceeds buffer size %d", len(msg), c.lay.bufSize)
 	}
 	callStart := h.nt.Now()
 	h.p.Sleep(c.card.Timing.HAMHostOverhead)
 	slot := c.next
-	c.next = (c.next + 1) % c.lay.nbuf
 	if prev := c.inUse[slot]; prev != nil {
 		if _, err := h.waitHandle(prev); err != nil {
 			return nil, fmt.Errorf("dmab: draining slot %d: %w", slot, err)
 		}
 	}
 	seq := c.seq[slot]
-	c.seq[slot]++
 
 	base := uint64(c.seg.Addr)
 	if err := h.host.Mem.WriteAt(msg, memA(base+c.lay.recvBufOff(slot))); err != nil {
@@ -293,7 +304,13 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if werr != nil {
 		return nil, werr
 	}
-	hd := &handle{target: target, slot: slot, seq: seq}
+	// Commit the slot only after the flag is set, so an aborted attempt
+	// cannot desynchronise the per-slot sequence — or the ring order the VE
+	// serves slots in — with the VE side; a retried attempt must land in
+	// the same slot.
+	c.seq[slot]++
+	c.next = (c.next + 1) % c.lay.nbuf
+	hd := &handle{target: target, c: c, slot: slot, seq: seq}
 	c.inUse[slot] = hd
 	h.nt.Since(trace.PhaseCall, "dmab-call", c.mid(slot, seq), callStart)
 	return hd, nil
@@ -333,18 +350,29 @@ func (h *Host) pollSlot(c *conn, hd *handle) (bool, error) {
 }
 
 func (h *Host) waitHandle(hd *handle) ([]byte, error) {
-	c, err := h.conn(hd.target)
-	if err != nil {
-		return nil, err
-	}
+	c := hd.c
 	defer h.nt.Begin(trace.PhaseWait, "dmab-wait", c.mid(hd.slot, hd.seq))()
+	start := h.p.Now()
 	for !hd.done {
+		// The host polls local memory, which never errors — a dead VE shows
+		// up as silence. Detect it through the card's crash state so
+		// in-flight futures fail instead of waiting for a result that will
+		// never be pushed.
+		if c.dead || c.card.Crashed() {
+			c.dead = true
+			return nil, fmt.Errorf("dmab: node %d: %w", hd.target, core.ErrNodeFailed)
+		}
 		ok, err := h.pollSlot(c, hd)
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			h.p.Sleep(c.card.Timing.HAMHostPollInterval)
+		}
+		if d := h.opts.OffloadTimeout; d > 0 && !hd.done && h.p.Now().Sub(start) >= d {
+			// The slot stays leased to the lost offload (bounded by
+			// NumBuffers); RecoverNode rebuilds the communication area.
+			return nil, fmt.Errorf("dmab: node %d slot %d: %w", hd.target, hd.slot, core.ErrOffloadTimeout)
 		}
 	}
 	h.p.Sleep(c.card.Timing.HAMHostOverhead)
@@ -369,9 +397,10 @@ func (h *Host) Poll(hh core.Handle) ([]byte, bool, error) {
 	if hd.done {
 		return hd.resp, true, nil
 	}
-	c, err := h.conn(hd.target)
-	if err != nil {
-		return nil, false, err
+	c := hd.c
+	if c.dead || c.card.Crashed() {
+		c.dead = true
+		return nil, false, fmt.Errorf("dmab: node %d: %w", hd.target, core.ErrNodeFailed)
 	}
 	// Each poll costs one local flag check; charging it keeps user-level
 	// Test() busy-wait loops advancing simulated time.
@@ -390,6 +419,9 @@ func (h *Host) Put(target core.NodeID, data []byte, dstAddr uint64) error {
 	if err != nil {
 		return err
 	}
+	if c.dead {
+		return fmt.Errorf("dmab: node %d: %w", target, core.ErrNodeFailed)
+	}
 	stage, err := c.card.Host.Alloc(int64(len(data)))
 	if err != nil {
 		return err
@@ -398,7 +430,18 @@ func (h *Host) Put(target core.NodeID, data []byte, dstAddr uint64) error {
 	if err := c.card.Host.Mem.WriteAt(data, stage); err != nil {
 		return err
 	}
-	return c.proc.WriteMem(h.p, dstAddr, uint64(stage), int64(len(data)))
+	return h.stepErr(c, target, c.proc.WriteMem(h.p, dstAddr, uint64(stage), int64(len(data))))
+}
+
+// stepErr classifies a failed VEO step: a crashed VE process marks the conn
+// dead and surfaces core.ErrNodeFailed; everything else (including injected
+// transient DMA errors) passes through.
+func (h *Host) stepErr(c *conn, target core.NodeID, err error) error {
+	if errors.Is(err, veos.ErrCrashed) {
+		c.dead = true
+		return fmt.Errorf("dmab: node %d: %w", target, core.ErrNodeFailed)
+	}
+	return err
 }
 
 // Get implements core.Backend through veo_read_mem.
@@ -407,13 +450,16 @@ func (h *Host) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
 	if err != nil {
 		return err
 	}
+	if c.dead {
+		return fmt.Errorf("dmab: node %d: %w", target, core.ErrNodeFailed)
+	}
 	stage, err := c.card.Host.Alloc(int64(len(dst)))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = c.card.Host.Free(stage) }()
 	if err := c.proc.ReadMem(h.p, uint64(stage), srcAddr, int64(len(dst))); err != nil {
-		return err
+		return h.stepErr(c, target, err)
 	}
 	return c.card.Host.Mem.ReadAt(dst, stage)
 }
@@ -434,6 +480,37 @@ func (h *Host) ChargeVector(flops, bytes int64, cores int) {
 // ChargeScalar implements core.Backend.
 func (h *Host) ChargeScalar(ops int64) {
 	h.p.Sleep(simtime.Duration(float64(ops) / 2.6e9 * float64(simtime.Second)))
+}
+
+// Backoff implements core's optional backoff surface: retry delays advance
+// the host process's simulated clock.
+func (h *Host) Backoff(d simtime.Duration) { h.p.Sleep(d) }
+
+// RecoverNode implements core.Recoverer: it reaps the dead VE process,
+// removes the old shared-memory segment, and re-runs the §IV-A setup —
+// fresh process, shm segment, DMAATB registration, ham_main. Outstanding
+// handles stay pinned to the dead conn and keep failing with
+// core.ErrNodeFailed.
+func (h *Host) RecoverNode(n core.NodeID) error {
+	c, err := h.conn(n)
+	if err != nil {
+		return err
+	}
+	c.dead = true
+	if c.card.Process() != nil {
+		_ = c.card.DestroyProcess(h.p)
+	}
+	_ = h.host.ShmRemove(c.seg.Key)
+	total := h.opts.TotalNodes
+	if total == 0 {
+		total = len(h.conns) + 1
+	}
+	nc, err := h.connect(c.card, int(n), total)
+	if err != nil {
+		return err
+	}
+	h.conns[int(n)-h.opts.NodeBase-1] = nc
+	return nil
 }
 
 // Close implements core.Backend: tear down VE processes and shm segments.

@@ -175,9 +175,21 @@ func (t *Target) Serve(s core.Server) error {
 	var idle simtime.Duration
 
 	for !s.Done() {
+		if card.Crashed() {
+			// The VE process died under us (injected crash): stop serving
+			// instead of spinning on a dead machine.
+			return fmt.Errorf("dmab: serve aborted: %w", veos.ErrCrashed)
+		}
 		pollStart := t.nt.Now()
 		flag, err := instr.LoadWord(t.kctx.P, memA(t.st.shmVEHVA+lay.recvFlagOff(next)))
 		if err != nil {
+			if core.IsTransient(err) {
+				// An injected LHM glitch reads as a miss: back off one poll
+				// interval and retry the load.
+				t.nt.Instant(trace.PhaseFault, "dmab-poll-fault", int64(next))
+				t.kctx.P.Sleep(interval)
+				continue
+			}
 			return err
 		}
 		n, ok := slots.Decode(flag, seq[next])
@@ -202,6 +214,14 @@ func (t *Target) Serve(s core.Server) error {
 		if err := udma.Post(t.kctx.P, dma.Raw, pcie.Down,
 			memA(t.st.stageVEHVA), memA(t.st.shmVEHVA+lay.recvBufOff(next)), int64(n)); err != nil {
 			endFetch()
+			if core.IsTransient(err) {
+				// The flag is still set and the slot sequence untouched:
+				// the next iteration re-polls the same slot and refetches,
+				// so a transient DMA error delays the message, not drops it.
+				t.nt.Instant(trace.PhaseFault, "dmab-fetch-fault", mid)
+				t.kctx.P.Sleep(interval)
+				continue
+			}
 			return err
 		}
 		msg := make([]byte, n)
@@ -215,6 +235,14 @@ func (t *Target) Serve(s core.Server) error {
 		resp := s.Dispatch(msg)
 		endResult := t.nt.Begin(trace.PhaseResult, "dmab-result", mid)
 		rerr := t.respond(lay, next, seq[next], resp)
+		// The handler already ran exactly once; only the result push is
+		// retried, within a bounded window, so a transient burst cannot
+		// wedge the serve loop forever.
+		for tries := 0; rerr != nil && core.IsTransient(rerr) && tries < respondRetries; tries++ {
+			t.nt.Instant(trace.PhaseRetry, "dmab-respond-retry", mid)
+			t.kctx.P.Sleep(tm.HAMVEPollInterval)
+			rerr = t.respond(lay, next, seq[next], resp)
+		}
 		endResult()
 		if rerr != nil {
 			return rerr
@@ -224,6 +252,9 @@ func (t *Target) Serve(s core.Server) error {
 	}
 	return nil
 }
+
+// respondRetries bounds the transient-error retry window of one result push.
+const respondRetries = 64
 
 // respond pushes the result into the VH send slot: inline payload via SHM
 // word stores (the §V-B finding: SHM beats DMA up to 256 B), overflow via a

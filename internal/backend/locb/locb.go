@@ -10,12 +10,61 @@ import (
 	"sync"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/faults"
 	"hamoffload/internal/trace"
 )
 
 type request struct {
 	msg  []byte
 	resp chan []byte
+}
+
+// life is the liveness table shared by all nodes of one loopback
+// application: a dead flag and a broadcast down-channel per node. Closing
+// the down channel releases every select blocked on that node — its serve
+// loop and all of its waiters — at once.
+type life struct {
+	mu   sync.Mutex
+	dead []bool
+	down []chan struct{}
+}
+
+func newLife(n int) *life {
+	lf := &life{dead: make([]bool, n), down: make([]chan struct{}, n)}
+	for i := range lf.down {
+		lf.down[i] = make(chan struct{})
+	}
+	return lf
+}
+
+func (lf *life) downCh(n core.NodeID) chan struct{} {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	return lf.down[n]
+}
+
+func (lf *life) killed(n core.NodeID) bool {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	return lf.dead[n]
+}
+
+func (lf *life) kill(n core.NodeID) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if !lf.dead[n] {
+		lf.dead[n] = true
+		close(lf.down[n])
+	}
+}
+
+func (lf *life) revive(n core.NodeID) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.dead[n] {
+		lf.dead[n] = false
+		lf.down[n] = make(chan struct{})
+	}
 }
 
 // lockedHeap makes a core.Heap safe for the concurrent host/target access
@@ -55,8 +104,39 @@ type Node struct {
 	descs []core.NodeDescriptor
 	heaps []*lockedHeap
 	chans []chan request // chans[n] is the inbox of node n
+	life  *life
+	inj   *faults.Injector
 	nt    *trace.NodeTracer
 	calls int64 // message correlator for this node's outgoing calls
+}
+
+// SetFaultInjector arms connection-level fault injection: SiteConn transfer
+// errors fail individual Call attempts (transiently, so core's retry layer
+// may resubmit). This backend runs on the wall clock, so only rate- and
+// op-scheduled rules apply.
+func (b *Node) SetFaultInjector(inj *faults.Injector) { b.inj = inj }
+
+// Kill marks node n failed: its serve loop returns, every pending waiter
+// fails with core.ErrNodeFailed, and new offloads to it are rejected until
+// RecoverNode.
+func (b *Node) Kill(n core.NodeID) { b.life.kill(n) }
+
+// RecoverNode implements core.Recoverer: it revives a killed node and drains
+// stale requests from its inbox. The application must restart the node's
+// Serve loop afterwards (in-process, the "machine" is a goroutine).
+func (b *Node) RecoverNode(n core.NodeID) error {
+	if int(n) < 0 || int(n) >= len(b.chans) {
+		return fmt.Errorf("locb: no node %d", n)
+	}
+	for {
+		select {
+		case req := <-b.chans[n]:
+			_ = req // the caller already saw ErrNodeFailed via the down channel
+		default:
+			b.life.revive(n)
+			return nil
+		}
+	}
 }
 
 // SetTracer attaches a wall-clock trace handle for this node's protocol
@@ -87,6 +167,7 @@ func NewN(n int, heapSize int64) ([]*Node, error) {
 			descs: host.descs,
 			heaps: host.heaps,
 			chans: host.chans,
+			life:  host.life,
 		})
 	}
 	return nodes, nil
@@ -113,8 +194,9 @@ func newN(n int, heapSize int64) (*Node, *Node, error) {
 		heaps[i] = &lockedHeap{h: h}
 		chans[i] = make(chan request, 64)
 	}
+	lf := newLife(n)
 	mk := func(self int) *Node {
-		return &Node{self: core.NodeID(self), descs: descs, heaps: heaps, chans: chans}
+		return &Node{self: core.NodeID(self), descs: descs, heaps: heaps, chans: chans, life: lf}
 	}
 	return mk(0), mk(1), nil
 }
@@ -133,37 +215,66 @@ func (b *Node) Descriptor(n core.NodeID) core.NodeDescriptor {
 	return b.descs[n]
 }
 
+// handle is one in-flight offload; it remembers the target so waiters can
+// watch its down channel alongside the response.
+type handle struct {
+	resp   chan []byte
+	target core.NodeID
+}
+
 // Call implements core.Backend.
 func (b *Node) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if int(target) < 0 || int(target) >= len(b.chans) {
 		return nil, fmt.Errorf("locb: no node %d", target)
 	}
+	if b.life.killed(target) {
+		return nil, fmt.Errorf("locb: node %d: %w", target, core.ErrNodeFailed)
+	}
+	if err := b.inj.TransferError(0, faults.SiteConn, int(target)); err != nil {
+		return nil, err
+	}
 	b.calls++
 	defer b.nt.Begin(trace.PhaseCall, "locb-call", b.calls)()
 	req := request{msg: msg, resp: make(chan []byte, 1)}
 	b.chans[target] <- req
-	return req.resp, nil
+	return &handle{resp: req.resp, target: target}, nil
 }
 
 // Wait implements core.Backend.
 func (b *Node) Wait(h core.Handle) ([]byte, error) {
-	ch, ok := h.(chan []byte)
+	hd, ok := h.(*handle)
 	if !ok {
 		return nil, fmt.Errorf("locb: foreign handle %T", h)
 	}
 	defer b.nt.Begin(trace.PhaseWait, "locb-wait", b.calls)()
-	return <-ch, nil
+	// A response that already arrived wins over a later node failure.
+	select {
+	case resp := <-hd.resp:
+		return resp, nil
+	default:
+	}
+	select {
+	case resp := <-hd.resp:
+		return resp, nil
+	case <-b.life.downCh(hd.target):
+		return nil, fmt.Errorf("locb: node %d: %w", hd.target, core.ErrNodeFailed)
+	}
 }
 
 // Poll implements core.Backend.
 func (b *Node) Poll(h core.Handle) ([]byte, bool, error) {
-	ch, ok := h.(chan []byte)
+	hd, ok := h.(*handle)
 	if !ok {
 		return nil, false, fmt.Errorf("locb: foreign handle %T", h)
 	}
 	select {
-	case resp := <-ch:
+	case resp := <-hd.resp:
 		return resp, true, nil
+	default:
+	}
+	select {
+	case <-b.life.downCh(hd.target):
+		return nil, false, fmt.Errorf("locb: node %d: %w", hd.target, core.ErrNodeFailed)
 	default:
 		return nil, false, nil
 	}
@@ -185,13 +296,19 @@ func (b *Node) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
 	return b.heaps[target].Read(srcAddr, dst)
 }
 
-// Serve implements core.Backend: the target message loop.
+// Serve implements core.Backend: the target message loop. It returns with
+// core.ErrNodeFailed when the node is killed.
 func (b *Node) Serve(s core.Server) error {
 	inbox := b.chans[b.self]
 	var served int64
 	for !s.Done() {
 		pollStart := b.nt.Now()
-		req := <-inbox
+		var req request
+		select {
+		case req = <-inbox:
+		case <-b.life.downCh(b.self):
+			return fmt.Errorf("locb: node %d killed: %w", b.self, core.ErrNodeFailed)
+		}
 		served++
 		b.nt.Since(trace.PhasePoll, "locb-recv", served, pollStart)
 		resp := s.Dispatch(req.msg)

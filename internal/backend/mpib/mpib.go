@@ -344,6 +344,24 @@ func (h *Host) ChargeScalar(ops int64) {
 	h.p.Sleep(simtime.Duration(float64(ops) / 2.6e9 * float64(simtime.Second)))
 }
 
+// Backoff implements core's optional backoff surface: retry delays advance
+// the initiator's simulated clock.
+func (h *Host) Backoff(d simtime.Duration) { h.p.Sleep(d) }
+
+// RecoverNode implements core.Recoverer for machine 0's VEs by delegating to
+// the local DMA-protocol connection. Remote recovery would need a proxy-side
+// control message; until then it reports the limitation explicitly.
+func (h *Host) RecoverNode(n core.NodeID) error {
+	m, local, err := h.route(n)
+	if err != nil {
+		return err
+	}
+	if m != 0 {
+		return fmt.Errorf("mpib: node %d is on remote machine %d; remote recovery is not supported", n, m)
+	}
+	return h.local.RecoverNode(local)
+}
+
 // Close implements core.Backend: shut the proxies down, then the local
 // connection. Terminate messages for the targets themselves have already
 // flowed through the normal Call path during Runtime.Finalize.

@@ -10,12 +10,14 @@ package tcpb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/faults"
 	"hamoffload/internal/trace"
 )
 
@@ -68,7 +70,14 @@ type Host struct {
 	descs []core.NodeDescriptor
 	heap  *core.Heap
 	nt    *trace.NodeTracer
+	inj   *faults.Injector
 }
+
+// SetFaultInjector arms connection-level fault injection (faults.SiteConn
+// send errors and faults.ConnReset schedules). This backend runs on the wall
+// clock, so only rate- and op-scheduled rules apply; time-window rules never
+// fire (the injector is consulted at simulated time zero).
+func (h *Host) SetFaultInjector(inj *faults.Injector) { h.inj = inj }
 
 // SetTracer attaches a wall-clock trace handle for the host's protocol
 // spans (frame ids are the message correlators).
@@ -89,6 +98,39 @@ type hostConn struct {
 type result struct {
 	typ     byte
 	payload []byte
+}
+
+// handle is one in-flight round trip; it keeps the conn so a waiter can
+// surface the reader loop's underlying error instead of a generic message.
+type handle struct {
+	hc *hostConn
+	ch chan result
+	id uint64
+}
+
+// errShutdown marks the clean-EOF case: the target closed its side after the
+// terminate exchange with nothing outstanding — a graceful shutdown, not a
+// node failure.
+var errShutdown = errors.New("tcpb: connection shut down")
+
+// renderDead renders a connection's terminal read error for a waiter or
+// sender: a broken connection carries the underlying error wrapped in
+// core.ErrNodeFailed; a clean shutdown stays a plain closed-connection error.
+func renderDead(err error) error {
+	switch {
+	case err == nil:
+		return fmt.Errorf("tcpb: connection closed while waiting")
+	case errors.Is(err, errShutdown):
+		return errShutdown
+	default:
+		return fmt.Errorf("tcpb: %w: %v", core.ErrNodeFailed, err)
+	}
+}
+
+func (hc *hostConn) deadErr() error {
+	hc.pendMu.Lock()
+	defer hc.pendMu.Unlock()
+	return renderDead(hc.readErr)
 }
 
 // Dial connects to the listed target addresses; they become nodes 1..n.
@@ -124,7 +166,15 @@ func (hc *hostConn) readLoop() {
 		typ, id, _, payload, err := readFrame(hc.c)
 		if err != nil {
 			hc.pendMu.Lock()
+			if errors.Is(err, io.EOF) && len(hc.pending) == 0 {
+				// Clean EOF with nothing in flight: the target shut down
+				// after the terminate exchange.
+				err = errShutdown
+			}
 			hc.readErr = err
+			// Closing the channels releases every pending waiter; each then
+			// reads the recorded error through deadErr, so nobody blocks
+			// forever on a response that will never arrive.
 			for _, ch := range hc.pending {
 				close(ch)
 			}
@@ -151,7 +201,7 @@ func (hc *hostConn) send(typ byte, addr uint64, payload []byte) (chan result, ui
 	hc.pendMu.Lock()
 	if err := hc.readErr; err != nil {
 		hc.pendMu.Unlock()
-		return nil, 0, fmt.Errorf("tcpb: connection broken: %w", err)
+		return nil, 0, renderDead(err)
 	}
 	hc.nextID++
 	id := hc.nextID
@@ -162,7 +212,9 @@ func (hc *hostConn) send(typ byte, addr uint64, payload []byte) (chan result, ui
 		hc.pendMu.Lock()
 		delete(hc.pending, id)
 		hc.pendMu.Unlock()
-		return nil, 0, err
+		// A failed write means the transport is broken: the node is
+		// unreachable, whatever the reader loop has observed so far.
+		return nil, 0, fmt.Errorf("tcpb: %w: %v", core.ErrNodeFailed, err)
 	}
 	return ch, id, nil
 }
@@ -174,7 +226,7 @@ func (hc *hostConn) roundTrip(typ byte, addr uint64, payload []byte, wantTyp byt
 	}
 	res, ok := <-ch
 	if !ok {
-		return nil, fmt.Errorf("tcpb: connection closed while waiting")
+		return nil, hc.deadErr()
 	}
 	if res.typ == frameError {
 		return nil, fmt.Errorf("tcpb: remote error: %s", res.payload)
@@ -213,39 +265,71 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := h.injectSend(hc, target); err != nil {
+		return nil, err
+	}
 	callStart := h.nt.Now()
 	ch, id, err := hc.send(frameCall, 0, msg)
 	if err != nil {
 		return nil, err
 	}
 	h.nt.Since(trace.PhaseCall, "tcpb-call", int64(id), callStart)
-	return ch, nil
+	return &handle{hc: hc, ch: ch, id: id}, nil
+}
+
+// injectSend consults the fault plan before a send: a SiteConn transfer
+// error fails just this attempt (transient, so core's retry layer may
+// resubmit), and a scheduled connection reset tears the socket down — the
+// reader loop then fails every pending waiter.
+func (h *Host) injectSend(hc *hostConn, target core.NodeID) error {
+	if h.inj == nil {
+		return nil
+	}
+	if h.inj.ConnReset(int(target)) {
+		_ = hc.c.Close()
+	}
+	if err := h.inj.TransferError(0, faults.SiteConn, int(target)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DropConn forcibly closes the transport to target, simulating a node
+// failure: the reader loop fails every pending waiter with
+// core.ErrNodeFailed and later offloads are rejected the same way. This
+// backend cannot redial, so a dropped node stays dead.
+func (h *Host) DropConn(target core.NodeID) error {
+	hc, err := h.conn(target)
+	if err != nil {
+		return err
+	}
+	return hc.c.Close()
 }
 
 // Wait implements core.Backend.
 func (h *Host) Wait(hh core.Handle) ([]byte, error) {
-	ch, ok := hh.(chan result)
+	hd, ok := hh.(*handle)
 	if !ok {
 		return nil, fmt.Errorf("tcpb: foreign handle %T", hh)
 	}
-	defer h.nt.Begin(trace.PhaseWait, "tcpb-wait", -1)()
-	res, open := <-ch
+	defer h.nt.Begin(trace.PhaseWait, "tcpb-wait", int64(hd.id))()
+	res, open := <-hd.ch
 	if !open {
-		return nil, fmt.Errorf("tcpb: connection closed while waiting")
+		return nil, hd.hc.deadErr()
 	}
 	return res.payload, nil
 }
 
 // Poll implements core.Backend.
 func (h *Host) Poll(hh core.Handle) ([]byte, bool, error) {
-	ch, ok := hh.(chan result)
+	hd, ok := hh.(*handle)
 	if !ok {
 		return nil, false, fmt.Errorf("tcpb: foreign handle %T", hh)
 	}
 	select {
-	case res, open := <-ch:
+	case res, open := <-hd.ch:
 		if !open {
-			return nil, false, fmt.Errorf("tcpb: connection closed while waiting")
+			return nil, false, hd.hc.deadErr()
 		}
 		return res.payload, true, nil
 	default:

@@ -141,6 +141,11 @@ func (t *Target) Serve(s core.Server) error {
 	var idle simtime.Duration
 
 	for !s.Done() {
+		if card.Crashed() {
+			// The VE process died under us (injected crash): stop serving
+			// instead of spinning on a dead machine.
+			return fmt.Errorf("veob: serve aborted: %w", veos.ErrCrashed)
+		}
 		pollStart := t.nt.Now()
 		flag, err := card.Mem.HBM.ReadUint64(memA(lay.recvFlagAddr(next)))
 		if err != nil {

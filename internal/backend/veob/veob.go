@@ -14,6 +14,7 @@
 package veob
 
 import (
+	"errors"
 	"fmt"
 
 	"hamoffload/internal/backend/adapter"
@@ -37,6 +38,11 @@ type Options struct {
 	// TargetArch labels the VE binary for HAM's translation tables
 	// (default "aurora-ve").
 	TargetArch string
+	// OffloadTimeout bounds how long one offload may stay in flight before
+	// Wait gives up with core.ErrOffloadTimeout, measured on the simulated
+	// clock from the start of the wait. Zero waits forever (the pre-fault-
+	// tolerance behaviour).
+	OffloadTimeout simtime.Duration
 }
 
 func (o *Options) fill() {
@@ -94,9 +100,12 @@ func (l layout) sendSlotAddr(slot int) uint64 {
 }
 func (l layout) sendExtraAddr(slot int) uint64 { return l.sendExtra + uint64(slot*l.bufSize) }
 
-// handle tracks one in-flight offload.
+// handle tracks one in-flight offload. It pins the conn it was issued on:
+// after a node recovery builds a fresh conn, stale handles must keep failing
+// against the dead one instead of polling slots they never owned.
 type handle struct {
 	target core.NodeID
+	c      *conn
 	slot   int
 	seq    uint32
 	resp   []byte
@@ -112,6 +121,7 @@ type conn struct {
 	inUse  []*handle // outstanding offload per slot
 	next   int       // round-robin slot cursor
 	bounce uint64    // persistent host-side bounce buffer for flag writes
+	dead   bool      // VE process crashed; reject work until RecoverNode
 }
 
 // Host is the initiator-side backend running on the Vector Host. All methods
@@ -252,13 +262,15 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.dead {
+		return nil, fmt.Errorf("veob: node %d: %w", target, core.ErrNodeFailed)
+	}
 	if len(msg) > c.lay.bufSize || len(msg) > slots.MaxLen {
 		return nil, fmt.Errorf("veob: message of %d bytes exceeds buffer size %d", len(msg), c.lay.bufSize)
 	}
 	callStart := h.nt.Now()
 	h.p.Sleep(h.timing(c).HAMHostOverhead)
 	slot := c.next
-	c.next = (c.next + 1) % c.lay.nbuf
 	// The host manages the buffers: a slot is free again once the result of
 	// its previous use has been consumed.
 	if prev := c.inUse[slot]; prev != nil {
@@ -267,14 +279,13 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 		}
 	}
 	seq := c.seq[slot]
-	c.seq[slot]++
 
 	// Stage the message in host memory and write it into the VE buffer.
 	if err := c.card.Host.Mem.WriteAt(msg, memA(c.bounce)); err != nil {
 		return nil, err
 	}
 	if err := c.proc.WriteMem(h.p, c.lay.recvBufAddr(slot), c.bounce, int64(len(msg))); err != nil {
-		return nil, err
+		return nil, h.stepErr(c, target, err)
 	}
 	// Set the notification flag (second veo_write_mem).
 	if err := c.card.Host.Mem.WriteUint64(memA(c.bounce), slots.Encode(seq, len(msg))); err != nil {
@@ -284,12 +295,31 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	werr := c.proc.WriteMem(h.p, c.lay.recvFlagAddr(slot), c.bounce, slots.FlagBits)
 	endFlag()
 	if werr != nil {
-		return nil, werr
+		return nil, h.stepErr(c, target, werr)
 	}
-	hd := &handle{target: target, slot: slot, seq: seq}
+	// Commit the slot only now: an attempt aborted mid-sequence never set a
+	// flag, so the VE — which serves its receive slots in ring order — still
+	// waits for this slot and sequence number. Advancing either cursor
+	// earlier would desynchronise the protocol forever; a retried attempt
+	// must land in the same slot.
+	c.seq[slot]++
+	c.next = (c.next + 1) % c.lay.nbuf
+	hd := &handle{target: target, c: c, slot: slot, seq: seq}
 	c.inUse[slot] = hd
 	h.nt.Since(trace.PhaseCall, "veob-call", c.mid(slot, seq), callStart)
 	return hd, nil
+}
+
+// stepErr classifies a failed protocol step: a crashed VE process marks the
+// conn dead and surfaces core.ErrNodeFailed; everything else — notably
+// injected transient DMA errors, which core's retry layer may resubmit —
+// passes through unchanged.
+func (h *Host) stepErr(c *conn, target core.NodeID, err error) error {
+	if errors.Is(err, veos.ErrCrashed) {
+		c.dead = true
+		return fmt.Errorf("veob: node %d: %w", target, core.ErrNodeFailed)
+	}
+	return err
 }
 
 // pollSlot performs one flag+inline-result read and, if the result is
@@ -333,16 +363,30 @@ func (h *Host) pollSlot(c *conn, hd *handle) (bool, error) {
 }
 
 func (h *Host) waitHandle(hd *handle) ([]byte, error) {
-	c, err := h.conn(hd.target)
-	if err != nil {
-		return nil, err
-	}
+	c := hd.c
 	defer h.nt.Begin(trace.PhaseWait, "veob-wait", c.mid(hd.slot, hd.seq))()
+	start := h.p.Now()
 	for !hd.done {
+		if c.dead {
+			return nil, fmt.Errorf("veob: node %d: %w", hd.target, core.ErrNodeFailed)
+		}
 		// Each poll is a full veo_read_mem; no extra backoff is needed, the
 		// privileged-DMA latency is the poll interval.
 		if _, err := h.pollSlot(c, hd); err != nil {
-			return nil, err
+			if core.IsTransient(err) {
+				// An injected glitch on the poll read costs one poll
+				// interval; the next read retries it for free and the
+				// offload itself is unharmed.
+				h.nt.Instant(trace.PhaseFault, "veob-poll-fault", c.mid(hd.slot, hd.seq))
+				continue
+			}
+			return nil, h.stepErr(c, hd.target, err)
+		}
+		if d := h.opts.OffloadTimeout; d > 0 && !hd.done && h.p.Now().Sub(start) >= d {
+			// The slot stays leased to the lost offload — the leak is
+			// bounded by NumBuffers, and RecoverNode rebuilds the whole
+			// communication area.
+			return nil, fmt.Errorf("veob: node %d slot %d: %w", hd.target, hd.slot, core.ErrOffloadTimeout)
 		}
 	}
 	h.p.Sleep(h.timing(c).HAMHostOverhead)
@@ -367,13 +411,19 @@ func (h *Host) Poll(hh core.Handle) ([]byte, bool, error) {
 	if hd.done {
 		return hd.resp, true, nil
 	}
-	c, err := h.conn(hd.target)
-	if err != nil {
-		return nil, false, err
+	c := hd.c
+	if c.dead {
+		return nil, false, fmt.Errorf("veob: node %d: %w", hd.target, core.ErrNodeFailed)
 	}
 	done, err := h.pollSlot(c, hd)
 	if err != nil {
-		return nil, false, err
+		if core.IsTransient(err) {
+			// Absorbed like in waitHandle: the probe simply reports "not
+			// done yet" and the next poll retries the read.
+			h.nt.Instant(trace.PhaseFault, "veob-poll-fault", c.mid(hd.slot, hd.seq))
+			return nil, false, nil
+		}
+		return nil, false, h.stepErr(c, hd.target, err)
 	}
 	if !done {
 		return nil, false, nil
@@ -390,6 +440,9 @@ func (h *Host) Put(target core.NodeID, data []byte, dstAddr uint64) error {
 	if err != nil {
 		return err
 	}
+	if c.dead {
+		return fmt.Errorf("veob: node %d: %w", target, core.ErrNodeFailed)
+	}
 	stage, err := c.card.Host.Alloc(int64(len(data)))
 	if err != nil {
 		return err
@@ -398,7 +451,7 @@ func (h *Host) Put(target core.NodeID, data []byte, dstAddr uint64) error {
 	if err := c.card.Host.Mem.WriteAt(data, stage); err != nil {
 		return err
 	}
-	return c.proc.WriteMem(h.p, dstAddr, uint64(stage), int64(len(data)))
+	return h.stepErr(c, target, c.proc.WriteMem(h.p, dstAddr, uint64(stage), int64(len(data))))
 }
 
 // Get implements core.Backend via veo_read_mem.
@@ -407,13 +460,16 @@ func (h *Host) Get(target core.NodeID, srcAddr uint64, dst []byte) error {
 	if err != nil {
 		return err
 	}
+	if c.dead {
+		return fmt.Errorf("veob: node %d: %w", target, core.ErrNodeFailed)
+	}
 	stage, err := c.card.Host.Alloc(int64(len(dst)))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = c.card.Host.Free(stage) }()
 	if err := c.proc.ReadMem(h.p, uint64(stage), srcAddr, int64(len(dst))); err != nil {
-		return err
+		return h.stepErr(c, target, err)
 	}
 	return c.card.Host.Mem.ReadAt(dst, stage)
 }
@@ -436,6 +492,36 @@ func (h *Host) ChargeVector(flops, bytes int64, cores int) {
 // ChargeScalar implements core.Backend.
 func (h *Host) ChargeScalar(ops int64) {
 	h.p.Sleep(simtime.Duration(float64(ops) / (2.6e9) * float64(simtime.Second)))
+}
+
+// Backoff implements core's optional backoff surface: retry delays advance
+// the host process's simulated clock.
+func (h *Host) Backoff(d simtime.Duration) { h.p.Sleep(d) }
+
+// RecoverNode implements core.Recoverer: it reaps the dead VE process,
+// releases the old communication area and bounce buffer, and re-runs the
+// full Fig. 4 connect sequence — fresh process, library load, ham_comm_init,
+// ham_main. Outstanding handles stay pinned to the dead conn and keep
+// failing with core.ErrNodeFailed; new offloads use the replacement.
+func (h *Host) RecoverNode(n core.NodeID) error {
+	c, err := h.conn(n)
+	if err != nil {
+		return err
+	}
+	c.dead = true
+	if c.card.Process() != nil {
+		_ = c.card.DestroyProcess(h.p)
+	}
+	// The VE-side allocations died with the process; release their
+	// simulated backing store along with the host bounce buffer.
+	_ = c.card.Mem.Free(memA(c.lay.base))
+	_ = c.card.Host.Free(memA(c.bounce))
+	nc, err := h.connect(c.card, int(n), h.NumNodes())
+	if err != nil {
+		return err
+	}
+	h.conns[int(n)-1] = nc
+	return nil
 }
 
 // Close implements core.Backend: release the host-side bounce buffers and

@@ -104,6 +104,15 @@ type Runtime struct {
 	terminated bool
 	offloads   int64 // initiated offloads, for stats
 	executed   int64 // executed messages, for stats
+
+	// Fault tolerance (see ft.go). ft zero = off; seq numbers envelopes on
+	// the initiator; dedup is the target-side at-most-once window, created
+	// lazily on the first enveloped request.
+	ft       FaultTolerance
+	seq      uint64
+	dedup    *respCache
+	retries  int64
+	timeouts int64
 }
 
 // NewRuntime creates the runtime for one node. arch labels this node's
@@ -153,7 +162,36 @@ func (rt *Runtime) Executed() int64 { return rt.executed }
 // against this runtime. With tracing attached it wraps the handler in a
 // PhaseExecute span named after the message type, so every backend's
 // target side reports execution uniformly.
+//
+// Fault-tolerant (enveloped) requests are validated and deduplicated here,
+// transparently to the backends: a failed checksum draws a NACK without
+// touching the handler, and a retransmitted sequence number is answered
+// from the dedup window — the handler runs at most once per offload no
+// matter how often the initiator had to retry.
 func (rt *Runtime) Dispatch(msg []byte) []byte {
+	_, seq, payload, enveloped, cerr := openMessage(msg)
+	if !enveloped {
+		return rt.dispatchRaw(msg)
+	}
+	if cerr != nil {
+		rt.tr.Instant(trace.PhaseFault, "corrupt request", rt.executed)
+		rt.tr.Count("dispatch.corrupt", 1)
+		return sealMessage(envNack, 0, nil)
+	}
+	if rt.dedup == nil {
+		rt.dedup = newRespCache()
+	}
+	if resp, ok := rt.dedup.get(seq); ok {
+		rt.tr.Count("dispatch.dedup", 1)
+		return resp
+	}
+	sealed := sealMessage(envResponse, seq, rt.dispatchRaw(payload))
+	rt.dedup.put(seq, sealed)
+	return sealed
+}
+
+// dispatchRaw executes one bare active message.
+func (rt *Runtime) dispatchRaw(msg []byte) []byte {
 	rt.executed++
 	if rt.tr == nil {
 		return rt.bin.Dispatch(rt, msg)
@@ -187,33 +225,44 @@ func (rt *Runtime) beginOffload(name string) (int64, func()) {
 	return id, rt.tr.Begin(trace.PhaseOffload, "offload "+name, id)
 }
 
-// callAsync posts the named message with the given payload.
-func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder)) (Handle, error) {
+// callAsync posts the named message with the given payload. With fault
+// tolerance enabled the message is sealed in a checksummed envelope and the
+// returned pending carries the retransmission state; transient failures of
+// the post itself are retried here.
+func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder)) (Handle, *pending, error) {
 	if node == rt.ThisNode() {
-		return nil, fmt.Errorf("core: offload to self (node %d) is not supported", node)
+		return nil, nil, fmt.Errorf("core: offload to self (node %d) is not supported", node)
 	}
 	if int(node) < 0 || int(node) >= rt.NumNodes() {
-		return nil, fmt.Errorf("core: no node %d in this application (%d nodes)", node, rt.NumNodes())
+		return nil, nil, fmt.Errorf("core: no node %d in this application (%d nodes)", node, rt.NumNodes())
 	}
 	endEnc := rt.tr.Begin(trace.PhaseEncode, "encode "+name, rt.offloads+1)
 	msg, err := rt.bin.EncodeRequest(name, payload)
 	endEnc()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rt.offloads++
-	return rt.backend.Call(node, msg)
+	wire, pd := rt.seal(node, msg)
+	h, err := rt.backend.Call(node, wire)
+	if err != nil && rt.canRetry(pd, err) {
+		h, err = rt.resubmit(pd)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, pd, nil
 }
 
 // callSync posts the message and waits for its response payload.
 func (rt *Runtime) callSync(node NodeID, name string, payload func(*ham.Encoder)) (*ham.Decoder, error) {
 	_, endOff := rt.beginOffload(name)
 	defer endOff()
-	h, err := rt.callAsync(node, name, payload)
+	h, pd, err := rt.callAsync(node, name, payload)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := rt.backend.Wait(h)
+	resp, err := rt.resolve(h, pd)
 	if err != nil {
 		return nil, err
 	}

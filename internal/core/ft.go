@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
+)
+
+// FaultTolerance configures the runtime's retry policy for transient
+// offload failures (injected DMA errors, corrupt payloads, dropped
+// frames). The zero value disables fault tolerance — no envelope bytes on
+// the wire, no retries — which keeps un-faulted traffic bit-identical to
+// the plain protocol.
+//
+// With MaxRetries > 0 every offload request is framed in a checksummed,
+// sequence-numbered envelope (see envelope.go) and transient failures are
+// retried up to MaxRetries times with bounded exponential backoff on the
+// backend's clock: attempt k sleeps BackoffBase<<(k-1), capped at
+// BackoffMax. The target's dedup window preserves at-most-once handler
+// execution across retransmissions.
+type FaultTolerance struct {
+	MaxRetries  int
+	BackoffBase simtime.Duration
+	BackoffMax  simtime.Duration
+}
+
+func (ft FaultTolerance) enabled() bool { return ft.MaxRetries > 0 }
+
+// backoffSleeper is implemented by backends that can serve a retry delay
+// (the simulated backends sleep the initiating proc). Wall-clock backends
+// retry immediately.
+type backoffSleeper interface {
+	Backoff(d simtime.Duration)
+}
+
+// Recoverer is implemented by backends that can re-establish the
+// connection to a failed node (destroy the dead VE process, boot a fresh
+// one, rerun protocol setup).
+type Recoverer interface {
+	RecoverNode(n NodeID) error
+}
+
+// SetFaultTolerance installs the retry policy on the initiating runtime.
+// Call it before issuing offloads.
+func (rt *Runtime) SetFaultTolerance(ft FaultTolerance) { rt.ft = ft }
+
+// Retries returns how many transient-failure retries this runtime has
+// performed.
+func (rt *Runtime) Retries() int64 { return rt.retries }
+
+// Timeouts returns how many offloads ended in ErrOffloadTimeout.
+func (rt *Runtime) Timeouts() int64 { return rt.timeouts }
+
+// RecoverNode asks the backend to re-establish a failed node, the
+// machine-level recovery hook: after it succeeds, new offloads to the node
+// are accepted again. Futures that failed with ErrNodeFailed stay failed.
+func (rt *Runtime) RecoverNode(n NodeID) error {
+	if r, ok := rt.backend.(Recoverer); ok {
+		return r.RecoverNode(n)
+	}
+	return fmt.Errorf("core: backend %T cannot recover nodes", rt.backend)
+}
+
+// pending is the retransmission state of one fault-tolerant offload: the
+// sealed wire message and where it goes, so a transient failure can be
+// re-posted verbatim (same sequence number — the target dedups).
+type pending struct {
+	node    NodeID
+	msg     []byte
+	seq     uint64
+	attempt int
+}
+
+// nextSeq allocates a fresh envelope sequence number.
+func (rt *Runtime) nextSeq() uint64 {
+	rt.seq++
+	return rt.seq
+}
+
+// seal wraps an encoded request for fault-tolerant transmission, when the
+// policy is on. A nil pending means FT is off and msg travels bare.
+func (rt *Runtime) seal(node NodeID, msg []byte) ([]byte, *pending) {
+	if !rt.ft.enabled() {
+		return msg, nil
+	}
+	pd := &pending{node: node, seq: rt.nextSeq()}
+	pd.msg = sealMessage(envRequest, pd.seq, msg)
+	return pd.msg, pd
+}
+
+// canRetry decides whether pd has retry budget for err.
+func (rt *Runtime) canRetry(pd *pending, err error) bool {
+	return pd != nil && IsTransient(err) && pd.attempt < rt.ft.MaxRetries
+}
+
+// noteTimeout counts a timed-out offload on its way to the caller.
+func (rt *Runtime) noteTimeout(err error) {
+	if errors.Is(err, ErrOffloadTimeout) {
+		rt.timeouts++
+		rt.tr.Instant(trace.PhaseTimeout, "offload timeout", rt.offloads)
+		rt.tr.Count("offload.timeouts", 1)
+	}
+}
+
+// resubmit backs off and re-posts pd, consuming one retry. It keeps
+// consuming budget while the re-post itself fails transiently.
+func (rt *Runtime) resubmit(pd *pending) (Handle, error) {
+	for {
+		pd.attempt++
+		rt.retries++
+		rt.tr.Instant(trace.PhaseRetry, fmt.Sprintf("retry %d seq %d", pd.attempt, pd.seq), rt.offloads)
+		rt.tr.Count("offload.retries", 1)
+		d := rt.ft.BackoffBase
+		if d > 0 {
+			for i := 1; i < pd.attempt; i++ {
+				d *= 2
+				if rt.ft.BackoffMax > 0 && d >= rt.ft.BackoffMax {
+					d = rt.ft.BackoffMax
+					break
+				}
+			}
+			if b, ok := rt.backend.(backoffSleeper); ok {
+				b.Backoff(d)
+			}
+		}
+		h, err := rt.backend.Call(pd.node, pd.msg)
+		if err == nil {
+			return h, nil
+		}
+		if !rt.canRetry(pd, err) {
+			rt.noteTimeout(err)
+			return nil, err
+		}
+	}
+}
+
+// openResponse validates and unwraps a response under pd's policy. With FT
+// off it is the identity. Any framing violation — missing envelope, bad
+// checksum, foreign sequence number, or a target-issued NACK — classifies
+// as ErrPayloadCorrupt, i.e. transient.
+func (rt *Runtime) openResponse(pd *pending, resp []byte) ([]byte, error) {
+	if pd == nil {
+		return resp, nil
+	}
+	kind, seq, payload, enveloped, err := openMessage(resp)
+	if err != nil {
+		return nil, err
+	}
+	if !enveloped {
+		return nil, fmt.Errorf("%w: response not enveloped", ErrPayloadCorrupt)
+	}
+	if kind == envNack {
+		return nil, fmt.Errorf("%w: target rejected request checksum (seq %d)", ErrPayloadCorrupt, seq)
+	}
+	if kind != envResponse || seq != pd.seq {
+		return nil, fmt.Errorf("%w: response envelope kind %d seq %d (want seq %d)",
+			ErrPayloadCorrupt, kind, seq, pd.seq)
+	}
+	return payload, nil
+}
+
+// resolve blocks until the offload behind h completes, applying the retry
+// policy: transient failures (from the backend or from response
+// validation) are re-posted until the budget runs out.
+func (rt *Runtime) resolve(h Handle, pd *pending) ([]byte, error) {
+	for {
+		resp, err := rt.backend.Wait(h)
+		if err == nil {
+			resp, err = rt.openResponse(pd, resp)
+			if err == nil {
+				return resp, nil
+			}
+		}
+		if !rt.canRetry(pd, err) {
+			rt.noteTimeout(err)
+			return nil, err
+		}
+		h, err = rt.resubmit(pd)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pollResolved is the non-blocking variant of resolve, for Future.Test: it
+// returns the (possibly re-posted) handle and done=false while the offload
+// is still in flight.
+func (rt *Runtime) pollResolved(h Handle, pd *pending) (resp []byte, nh Handle, done bool, err error) {
+	resp, done, err = rt.backend.Poll(h)
+	if err == nil && !done {
+		return nil, h, false, nil
+	}
+	if err == nil {
+		resp, err = rt.openResponse(pd, resp)
+		if err == nil {
+			return resp, h, true, nil
+		}
+	}
+	if rt.canRetry(pd, err) {
+		nh, rerr := rt.resubmit(pd)
+		if rerr == nil {
+			return nil, nh, false, nil
+		}
+		err = rerr
+	}
+	rt.noteTimeout(err)
+	return nil, h, true, err
+}

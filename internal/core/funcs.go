@@ -131,13 +131,14 @@ func (f Functor[R]) Name() string { return f.name }
 // the future settles.
 func Async[R any](rt *Runtime, node NodeID, fn Functor[R]) *Future[R] {
 	_, endOff := rt.beginOffload(fn.name)
-	h, err := rt.callAsync(node, fn.name, fn.payload)
+	h, pd, err := rt.callAsync(node, fn.name, fn.payload)
 	if err != nil {
 		f := &Future[R]{rt: rt, onDone: endOff}
 		f.fail(err)
 		return f
 	}
 	f := newFuture(rt, h, fn.decode)
+	f.pd = pd
 	f.onDone = endOff
 	return f
 }

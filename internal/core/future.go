@@ -8,6 +8,7 @@ import "hamoffload/internal/ham"
 type Future[T any] struct {
 	rt     *Runtime
 	h      Handle
+	pd     *pending // fault-tolerance retransmission state, nil with FT off
 	decode func(*ham.Decoder) (T, error)
 
 	// onDone, when set, fires exactly once as the future settles or fails;
@@ -19,18 +20,21 @@ type Future[T any] struct {
 	err  error
 }
 
-// Test reports whether the result is available, without blocking.
+// Test reports whether the result is available, without blocking. Under a
+// fault-tolerance policy a transient failure observed here re-posts the
+// request and keeps the future in flight.
 func (f *Future[T]) Test() bool {
 	if f.done {
 		return true
 	}
-	resp, ok, err := f.rt.backend.Poll(f.h)
+	resp, h, done, err := f.rt.pollResolved(f.h, f.pd)
+	f.h = h
+	if !done {
+		return false
+	}
 	if err != nil {
 		f.fail(err)
 		return true
-	}
-	if !ok {
-		return false
 	}
 	f.settle(resp)
 	return true
@@ -41,7 +45,7 @@ func (f *Future[T]) Get() (T, error) {
 	if f.done {
 		return f.val, f.err
 	}
-	resp, err := f.rt.backend.Wait(f.h)
+	resp, err := f.rt.resolve(f.h, f.pd)
 	if err != nil {
 		f.fail(err)
 		return f.val, f.err

@@ -17,12 +17,52 @@ package dma
 import (
 	"fmt"
 
+	"hamoffload/internal/faults"
 	"hamoffload/internal/mem"
 	"hamoffload/internal/pcie"
 	"hamoffload/internal/simtime"
 	"hamoffload/internal/topology"
 	"hamoffload/internal/vemem"
 )
+
+// checkTransfer runs the shared fault hooks of a DMA transfer start: an
+// active link-down window or a scheduled transfer error fails the transfer
+// before any byte moves — a failed transfer delivers nothing.
+func checkTransfer(p *simtime.Proc, t topology.Timing, site faults.Site, path pcie.Path) error {
+	if t.Faults == nil {
+		return nil
+	}
+	if err := path.Err(p); err != nil {
+		t.Tracer.Instant(p, "fault", "link-down")
+		return err
+	}
+	if err := t.Faults.TransferError(p.Now(), site, path.Link.VE()); err != nil {
+		t.Tracer.Instant(p, "fault", "dma-error "+site.String())
+		return err
+	}
+	return nil
+}
+
+// corrupt flips one byte of the destination region when a bit-flip fault is
+// scheduled for this transfer, after the data moved.
+func corrupt(p *simtime.Proc, t topology.Timing, site faults.Site, path pcie.Path,
+	m *mem.Memory, addr mem.Addr, n int64) {
+	if t.Faults == nil {
+		return
+	}
+	off := t.Faults.Corrupt(p.Now(), site, path.Link.VE(), n)
+	if off < 0 {
+		return
+	}
+	var b [1]byte
+	if m.ReadAt(b[:], addr+mem.Addr(off)) != nil {
+		return
+	}
+	b[0] ^= 0x10
+	if m.WriteAt(b[:], addr+mem.Addr(off)) == nil {
+		t.Tracer.Instant(p, "fault", "bit-flip "+site.String())
+	}
+}
 
 // TranslateMode selects the VEOS DMA manager's address-translation strategy.
 type TranslateMode int
@@ -115,6 +155,9 @@ func (d *Privileged) transfer(p *simtime.Proc, dir pcie.Direction, veAddr, hostA
 	if n < 0 {
 		return fmt.Errorf("dma: privileged transfer of negative size %d", n)
 	}
+	if err := checkTransfer(p, d.timing, faults.SitePrivDMA, d.path); err != nil {
+		return err
+	}
 	name := "priv-dma-write"
 	if dir == pcie.Up {
 		name = "priv-dma-read"
@@ -148,9 +191,17 @@ func (d *Privileged) transfer(p *simtime.Proc, dir pcie.Direction, veAddr, hostA
 	d.engine.Release(p)
 
 	if dir == pcie.Down {
-		return mem.Copy(d.veMem, veAddr, d.hostMem, hostAddr, n)
+		if err := mem.Copy(d.veMem, veAddr, d.hostMem, hostAddr, n); err != nil {
+			return err
+		}
+		corrupt(p, d.timing, faults.SitePrivDMA, d.path, d.veMem, veAddr, n)
+		return nil
 	}
-	return mem.Copy(d.hostMem, hostAddr, d.veMem, veAddr, n)
+	if err := mem.Copy(d.hostMem, hostAddr, d.veMem, veAddr, n); err != nil {
+		return err
+	}
+	corrupt(p, d.timing, faults.SitePrivDMA, d.path, d.hostMem, hostAddr, n)
+	return nil
 }
 
 // UserDMA is one VE core's user DMA engine. Addresses are VEHVA and must be
@@ -200,6 +251,9 @@ func (u *UserDMA) Post(p *simtime.Proc, level Level, dir pcie.Direction, dstVEHV
 	if err != nil {
 		return err
 	}
+	if err := checkTransfer(p, u.timing, faults.SiteUserDMA, u.path); err != nil {
+		return err
+	}
 
 	rate := u.timing.UserDMAWriteRate
 	if dir == pcie.Down {
@@ -232,7 +286,11 @@ func (u *UserDMA) Post(p *simtime.Proc, level Level, dir pcie.Direction, dstVEHV
 	endWire()
 	u.engine.Release(p)
 
-	return mem.Copy(dstMem, dstAddr, srcMem, srcAddr, n)
+	if err := mem.Copy(dstMem, dstAddr, srcMem, srcAddr, n); err != nil {
+		return err
+	}
+	corrupt(p, u.timing, faults.SiteUserDMA, u.path, dstMem, dstAddr, n)
+	return nil
 }
 
 // Instr models the LHM and SHM instructions of the VE ISA: word-granular
@@ -261,6 +319,9 @@ func (in *Instr) LoadWord(p *simtime.Proc, vehva mem.Addr) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := checkTransfer(p, in.timing, faults.SiteLHM, in.path); err != nil {
+		return 0, err
+	}
 	defer in.timing.Tracer.Span(p, "pcie", "lhm-load")()
 	p.Sleep(in.timing.LHMPerWord + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency*2)
 	in.loads++
@@ -271,6 +332,9 @@ func (in *Instr) LoadWord(p *simtime.Proc, vehva mem.Addr) (uint64, error) {
 func (in *Instr) StoreWord(p *simtime.Proc, vehva mem.Addr, v uint64) error {
 	m, addr, err := in.atb.Translate(vehva, 8)
 	if err != nil {
+		return err
+	}
+	if err := checkTransfer(p, in.timing, faults.SiteLHM, in.path); err != nil {
 		return err
 	}
 	defer in.timing.Tracer.Span(p, "pcie", "shm-store")()
@@ -291,6 +355,9 @@ func (in *Instr) StoreBytes(p *simtime.Proc, vehva mem.Addr, data []byte) error 
 	if err != nil {
 		return err
 	}
+	if err := checkTransfer(p, in.timing, faults.SiteLHM, in.path); err != nil {
+		return err
+	}
 	words := padded / 8
 	defer in.timing.Tracer.Span(p, "pcie", "shm-store")()
 	cost := in.timing.SHMFirstWord + simtime.Duration(words-1)*in.timing.SHMPerWord
@@ -298,7 +365,11 @@ func (in *Instr) StoreBytes(p *simtime.Proc, vehva mem.Addr, data []byte) error 
 	in.stores += words
 	buf := make([]byte, padded)
 	copy(buf, data)
-	return m.WriteAt(buf, addr)
+	if err := m.WriteAt(buf, addr); err != nil {
+		return err
+	}
+	corrupt(p, in.timing, faults.SiteLHM, in.path, m, addr, padded)
+	return nil
 }
 
 // LoadBytes loads len(out) bytes word-by-word via LHM. Every word is a full
@@ -310,6 +381,9 @@ func (in *Instr) LoadBytes(p *simtime.Proc, vehva mem.Addr, out []byte) error {
 	padded := int64((len(out) + 7) &^ 7)
 	m, addr, err := in.atb.Translate(vehva, padded)
 	if err != nil {
+		return err
+	}
+	if err := checkTransfer(p, in.timing, faults.SiteLHM, in.path); err != nil {
 		return err
 	}
 	words := padded / 8

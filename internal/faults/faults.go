@@ -1,0 +1,381 @@
+// Package faults is the deterministic fault-injection subsystem for the
+// simulated machine. A Plan describes which faults to inject — keyed to
+// per-site operation counts, to simulated-time windows, or drawn from a
+// seed-derived deterministic stream — and an Injector compiled from it is
+// consulted at well-defined hook points in the substrates (internal/dma,
+// internal/veos, internal/pcie) and the communication backends.
+//
+// Determinism is the whole point: the same Plan against the same workload
+// injects the same faults at the same simulated instants, so chaos tests are
+// bit-reproducible in a way real SX-Aurora hardware never is. No math/rand
+// global and no wall clock are involved; the probabilistic mode uses a
+// splitmix64-style hash of (seed, rule, site, node, op index).
+//
+// Like internal/trace, the zero value is free: a nil *Injector is valid and
+// every method on it is a no-op, so un-faulted runs pay a single nil check
+// per hook point.
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"hamoffload/internal/simtime"
+)
+
+// Kind enumerates the fault classes the injector can produce.
+type Kind uint8
+
+const (
+	// DMAError fails a DMA transfer (privileged or user DMA, or an LHM
+	// access) before any data moves: a failed transfer delivers nothing.
+	DMAError Kind = iota + 1
+	// BitFlip corrupts one payload byte of a transfer after the data moved.
+	// Transfers of 8 bytes or fewer (protocol flag words) are never flipped:
+	// flag corruption would wedge the polling protocols rather than surface
+	// as a detectable payload error.
+	BitFlip
+	// Stall delays VEOS daemon operations (process control, privileged DMA
+	// syscall paths) until the end of the rule's time window.
+	Stall
+	// Crash kills a VE process: the card refuses further work until it is
+	// recovered via a fresh process.
+	Crash
+	// LinkDown fails every transfer crossing a PCIe link during the rule's
+	// time window.
+	LinkDown
+	// ConnReset drops a wall-clock backend connection (tcpb).
+	ConnReset
+)
+
+// String names the fault kind for diagnostics and trace events.
+func (k Kind) String() string {
+	switch k {
+	case DMAError:
+		return "dma-error"
+	case BitFlip:
+		return "bit-flip"
+	case Stall:
+		return "veos-stall"
+	case Crash:
+		return "ve-crash"
+	case LinkDown:
+		return "link-down"
+	case ConnReset:
+		return "conn-reset"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Site identifies the hook point consulting the injector. SiteAny in a rule
+// matches every site.
+type Site uint8
+
+const (
+	// SiteAny matches any site when used in a Rule.
+	SiteAny Site = iota
+	// SitePrivDMA is the privileged-DMA engine (veo_write_mem/veo_read_mem
+	// paths, the veob protocol's transport).
+	SitePrivDMA
+	// SiteUserDMA is the user-DMA engine (the dmab protocol's bulk fetch).
+	SiteUserDMA
+	// SiteLHM is VE load/store to host memory (dmab flag polling and inline
+	// results).
+	SiteLHM
+	// SiteVEOS is the VEOS daemon syscall path (process control, DMA
+	// requests).
+	SiteVEOS
+	// SiteConn is a wall-clock backend's transport (locb channel, tcpb
+	// socket).
+	SiteConn
+)
+
+// String names the site for diagnostics and trace events.
+func (s Site) String() string {
+	switch s {
+	case SiteAny:
+		return "any"
+	case SitePrivDMA:
+		return "priv-dma"
+	case SiteUserDMA:
+		return "user-dma"
+	case SiteLHM:
+		return "lhm"
+	case SiteVEOS:
+		return "veos"
+	case SiteConn:
+		return "conn"
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// AnyNode in Rule.Node matches every node.
+const AnyNode = -1
+
+// Rule schedules one fault. Three scheduling modes, chosen by field shape:
+//
+//   - Rate > 0: probabilistic — each matching operation fires with the given
+//     probability, drawn from the plan seed (deterministic across runs).
+//   - Until > 0 (and Rate == 0): time window — every matching operation with
+//     From <= now < Until fires. This is the natural mode for Stall and
+//     LinkDown, and never fires on wall-clock backends (which pass now = 0).
+//   - otherwise: op-scheduled — fires on the AfterOp-th matching operation
+//     (0-based, counted per (kind, site, node)), then Count-1 more times,
+//     every Every-th operation (Every == 0 means consecutive operations).
+//
+// Kind is mandatory. Site/Node restrict the hook points the rule matches;
+// the zero Site (SiteAny) and AnyNode match everything.
+type Rule struct {
+	Kind Kind
+	Site Site
+	Node int // a node id, or AnyNode
+
+	// Op-scheduled mode.
+	AfterOp uint64
+	Count   int // fires, 0 means 1
+	Every   uint64
+
+	// Time-window mode (simulated clock).
+	From  simtime.Time
+	Until simtime.Time
+
+	// Probabilistic mode.
+	Rate float64
+
+	// StallFor is the stall duration for Stall rules in op-scheduled or
+	// probabilistic mode; window-mode stalls last until Until.
+	StallFor simtime.Duration
+}
+
+// Plan is a complete fault schedule: a seed for the probabilistic stream
+// plus any number of rules. The zero Plan injects nothing.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Error is the error value for an injected transfer-level fault. It is
+// classified transient for every kind except Crash, so the runtime's
+// retry machinery (core.IsTransient) backs off and retries it.
+type Error struct {
+	Kind Kind
+	Site Site
+	Node int
+	Op   uint64 // the per-(kind,site,node) operation index that fired
+}
+
+// Error formats the injected fault.
+func (e *Error) Error() string {
+	return fmt.Sprintf("injected fault: %v at %v node %d op %d", e.Kind, e.Site, e.Node, e.Op)
+}
+
+// Transient reports whether the fault is worth retrying. Everything but a
+// process crash is: the next attempt draws a fresh op index.
+func (e *Error) Transient() bool { return e.Kind != Crash }
+
+// opKey counts operations per (kind, site, node), so rule op indices are
+// insensitive to unrelated traffic.
+type opKey struct {
+	kind Kind
+	site Site
+	node int
+}
+
+// Injector is the compiled, concurrency-safe decision engine for a Plan.
+// nil is a valid receiver for every method and decides "no fault".
+// Methods take the current simulated time where time-window rules apply;
+// wall-clock callers pass 0.
+type Injector struct {
+	mu       sync.Mutex
+	seed     uint64
+	rules    []Rule
+	left     []int // remaining fires per op-scheduled rule; -1 = not op-scheduled
+	ops      map[opKey]uint64
+	injected uint64
+}
+
+// New compiles a plan. A nil plan yields a nil injector, the zero-cost
+// default.
+func New(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	in := &Injector{
+		seed:  p.Seed,
+		rules: append([]Rule(nil), p.Rules...),
+		left:  make([]int, len(p.Rules)),
+		ops:   make(map[opKey]uint64),
+	}
+	for i, r := range in.rules {
+		if r.Rate > 0 || r.Until > 0 {
+			in.left[i] = -1
+			continue
+		}
+		if r.Count <= 0 {
+			in.left[i] = 1
+		} else {
+			in.left[i] = r.Count
+		}
+	}
+	return in
+}
+
+// Injected returns how many faults have fired so far. Deterministic runs
+// must agree on this number; chaos tests assert on it.
+func (in *Injector) Injected() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// fire advances the (kind, site, node) op counter and reports whether any
+// rule fires for this operation, returning the matched rule.
+func (in *Injector) fire(kind Kind, site Site, node int, now simtime.Time) (Rule, uint64, bool) {
+	key := opKey{kind, site, node}
+	op := in.ops[key]
+	in.ops[key] = op + 1
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Kind != kind {
+			continue
+		}
+		if r.Site != SiteAny && r.Site != site {
+			continue
+		}
+		if r.Node != AnyNode && r.Node != node {
+			continue
+		}
+		switch {
+		case r.Rate > 0:
+			if r.Until > 0 && (now < r.From || now >= r.Until) {
+				continue
+			}
+			h := mix(in.seed, uint64(i), uint64(kind)<<16|uint64(site)<<8, uint64(node), op)
+			if float64(h>>11)/(1<<53) >= r.Rate {
+				continue
+			}
+		case r.Until > 0:
+			if now < r.From || now >= r.Until {
+				continue
+			}
+		default:
+			if op < r.AfterOp || in.left[i] == 0 {
+				continue
+			}
+			if r.Every > 0 && (op-r.AfterOp)%r.Every != 0 {
+				continue
+			}
+			in.left[i]--
+		}
+		in.injected++
+		return *r, op, true
+	}
+	return Rule{}, op, false
+}
+
+// TransferError decides whether the transfer at site/node fails. The hook
+// point must consult it before moving any data: a failed transfer delivers
+// nothing.
+func (in *Injector) TransferError(now simtime.Time, site Site, node int) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, op, ok := in.fire(DMAError, site, node, now); ok {
+		return &Error{Kind: DMAError, Site: site, Node: node, Op: op}
+	}
+	return nil
+}
+
+// Corrupt decides whether an n-byte transfer gets one payload byte flipped,
+// returning the byte offset to corrupt, or -1. Transfers of 8 bytes or
+// fewer are never corrupted (see BitFlip).
+func (in *Injector) Corrupt(now simtime.Time, site Site, node int, n int64) int64 {
+	if in == nil || n <= 8 {
+		return -1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, op, ok := in.fire(BitFlip, site, node, now); ok {
+		return int64(mix(in.seed, uint64(BitFlip), uint64(site), uint64(node), op) % uint64(n))
+	}
+	return -1
+}
+
+// StallDelay decides whether a VEOS operation at node stalls, returning the
+// extra simulated delay to serve (0 = none).
+func (in *Injector) StallDelay(now simtime.Time, node int) simtime.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r, _, ok := in.fire(Stall, SiteVEOS, node, now)
+	if !ok {
+		return 0
+	}
+	if r.StallFor > 0 {
+		return r.StallFor
+	}
+	if r.Until > now {
+		return r.Until.Sub(now)
+	}
+	return 0
+}
+
+// CrashNow decides whether the VE process on node crashes at this
+// operation. The caller (the VEOS layer) records the crash; the injector
+// only schedules it.
+func (in *Injector) CrashNow(now simtime.Time, node int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, _, ok := in.fire(Crash, SiteVEOS, node, now)
+	return ok
+}
+
+// LinkError decides whether a transfer crossing node's PCIe link fails
+// because the link is down.
+func (in *Injector) LinkError(now simtime.Time, node int) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, op, ok := in.fire(LinkDown, SiteAny, node, now); ok {
+		return &Error{Kind: LinkDown, Site: SiteAny, Node: node, Op: op}
+	}
+	return nil
+}
+
+// ConnReset decides whether a wall-clock backend connection to node drops
+// at this operation.
+func (in *Injector) ConnReset(node int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, _, ok := in.fire(ConnReset, SiteConn, node, 0)
+	return ok
+}
+
+// mix folds the inputs through a splitmix64-style finalizer — a fixed,
+// platform-independent stream that stands in for math/rand.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

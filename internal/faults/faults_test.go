@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"hamoffload/internal/simtime"
+)
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if err := in.TransferError(0, SitePrivDMA, 1); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if off := in.Corrupt(0, SiteUserDMA, 1, 4096); off != -1 {
+		t.Fatalf("nil injector corrupted at %d", off)
+	}
+	if d := in.StallDelay(0, 1); d != 0 {
+		t.Fatalf("nil injector stalled %v", d)
+	}
+	if in.CrashNow(0, 1) || in.ConnReset(1) {
+		t.Fatal("nil injector crashed/reset")
+	}
+	if err := in.LinkError(0, 1); err != nil {
+		t.Fatalf("nil injector link error: %v", err)
+	}
+	if in.Injected() != 0 {
+		t.Fatal("nil injector counted injections")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) must return a nil injector")
+	}
+}
+
+func TestOpScheduledRule(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{
+		{Kind: DMAError, Site: SitePrivDMA, Node: 1, AfterOp: 2, Count: 2},
+	}})
+	var errs []int
+	for op := 0; op < 6; op++ {
+		if err := in.TransferError(0, SitePrivDMA, 1); err != nil {
+			errs = append(errs, op)
+			var fe *Error
+			if !errors.As(err, &fe) || !fe.Transient() {
+				t.Fatalf("op %d: want transient *Error, got %v", op, err)
+			}
+		}
+	}
+	if len(errs) != 2 || errs[0] != 2 || errs[1] != 3 {
+		t.Fatalf("fired at %v, want [2 3]", errs)
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("Injected = %d, want 2", in.Injected())
+	}
+	// Other sites and nodes share nothing with the matched counter.
+	if err := in.TransferError(0, SiteUserDMA, 1); err != nil {
+		t.Fatalf("unmatched site fired: %v", err)
+	}
+	if err := in.TransferError(0, SitePrivDMA, 2); err != nil {
+		t.Fatalf("unmatched node fired: %v", err)
+	}
+}
+
+func TestEveryStride(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{
+		{Kind: DMAError, Site: SiteConn, Node: AnyNode, AfterOp: 1, Count: 3, Every: 2},
+	}})
+	var fired []int
+	for op := 0; op < 10; op++ {
+		if in.TransferError(0, SiteConn, 0) != nil {
+			fired = append(fired, op)
+		}
+	}
+	want := []int{1, 3, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTimeWindowRules(t *testing.T) {
+	us := simtime.Microsecond
+	in := New(&Plan{Rules: []Rule{
+		{Kind: Stall, Node: 0, From: simtime.Time(10 * us), Until: simtime.Time(20 * us)},
+		{Kind: LinkDown, Node: 1, From: simtime.Time(5 * us), Until: simtime.Time(6 * us)},
+	}})
+	if d := in.StallDelay(simtime.Time(9*us), 0); d != 0 {
+		t.Fatalf("stall before window: %v", d)
+	}
+	if d := in.StallDelay(simtime.Time(12*us), 0); d != 8*us {
+		t.Fatalf("stall = %v, want %v", d, 8*us)
+	}
+	if d := in.StallDelay(simtime.Time(20*us), 0); d != 0 {
+		t.Fatalf("stall at window end: %v", d)
+	}
+	if err := in.LinkError(simtime.Time(5*us), 1); err == nil {
+		t.Fatal("link up inside down window")
+	}
+	if err := in.LinkError(simtime.Time(6*us), 1); err != nil {
+		t.Fatalf("link down after window: %v", err)
+	}
+	// Wall-clock callers pass now = 0: window rules never fire.
+	if d := in.StallDelay(0, 0); d != 0 {
+		t.Fatalf("window rule fired at time 0: %v", d)
+	}
+}
+
+func TestProbabilisticStreamIsDeterministic(t *testing.T) {
+	run := func() []int {
+		in := New(&Plan{Seed: 42, Rules: []Rule{
+			{Kind: DMAError, Site: SiteUserDMA, Node: AnyNode, Rate: 0.3},
+		}})
+		var fired []int
+		for op := 0; op < 200; op++ {
+			if in.TransferError(0, SiteUserDMA, 3) != nil {
+				fired = append(fired, op)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("rate 0.3 fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs disagree at fire %d: op %d vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed draws a different stream.
+	in2 := New(&Plan{Seed: 43, Rules: []Rule{
+		{Kind: DMAError, Site: SiteUserDMA, Node: AnyNode, Rate: 0.3},
+	}})
+	var c []int
+	for op := 0; op < 200; op++ {
+		if in2.TransferError(0, SiteUserDMA, 3) != nil {
+			c = append(c, op)
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 drew identical streams")
+	}
+}
+
+func TestCorruptSkipsFlagWords(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{
+		{Kind: BitFlip, Site: SitePrivDMA, Node: AnyNode, AfterOp: 0, Count: 100},
+	}})
+	if off := in.Corrupt(0, SitePrivDMA, 0, 8); off != -1 {
+		t.Fatalf("8-byte transfer corrupted at %d", off)
+	}
+	off := in.Corrupt(0, SitePrivDMA, 0, 100)
+	if off < 0 || off >= 100 {
+		t.Fatalf("corrupt offset %d out of range", off)
+	}
+}
+
+func TestCrashAndReset(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{
+		{Kind: Crash, Node: 1, AfterOp: 1},
+		{Kind: ConnReset, Node: 2, AfterOp: 0},
+	}})
+	if in.CrashNow(0, 1) {
+		t.Fatal("crashed before AfterOp")
+	}
+	if !in.CrashNow(0, 1) {
+		t.Fatal("no crash at AfterOp")
+	}
+	if in.CrashNow(0, 1) {
+		t.Fatal("crash rule fired twice")
+	}
+	if !in.ConnReset(2) {
+		t.Fatal("no reset at op 0")
+	}
+	if in.ConnReset(3) {
+		t.Fatal("reset on unmatched node")
+	}
+}

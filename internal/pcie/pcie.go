@@ -79,6 +79,17 @@ func (l *Link) Occupy(p *simtime.Proc, dir Direction, n int64) {
 // Latency returns the one-way propagation latency of the link.
 func (l *Link) Latency() simtime.Duration { return l.timing.PCIeLatency }
 
+// VE returns the id of the VE card this link attaches.
+func (l *Link) VE() int { return l.ve }
+
+// Err consults the fault injector's link-down schedule: it returns a
+// transient error while the link is inside a down window, and nil — at zero
+// cost — without an injector. The DMA engines check it before moving bytes,
+// so a down link fails transfers instead of delivering them.
+func (l *Link) Err(p *simtime.Proc) error {
+	return l.timing.Faults.LinkError(p.Now(), l.ve)
+}
+
 // Moved returns the payload bytes transferred in the given direction.
 func (l *Link) Moved(dir Direction) int64 { return l.moved[dir] }
 
@@ -106,6 +117,9 @@ func (pa Path) Transfer(p *simtime.Proc, dir Direction, n int64) {
 	pa.Link.Occupy(p, dir, n)
 	p.Sleep(pa.OneWayLatency())
 }
+
+// Err reports the path's injected link-down state (see Link.Err).
+func (pa Path) Err(p *simtime.Proc) error { return pa.Link.Err(p) }
 
 // Fabric is the whole PCIe/UPI interconnect of a system: one link per VE.
 type Fabric struct {

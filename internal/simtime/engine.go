@@ -212,5 +212,5 @@ func (e *Engine) deadlockError() error {
 		}
 	}
 	sort.Strings(stuck)
-	return fmt.Errorf("%w: %v", ErrDeadlock, stuck)
+	return fmt.Errorf("%w: at t=%v: %v", ErrDeadlock, e.now, stuck)
 }

@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 
+	"hamoffload/internal/faults"
 	"hamoffload/internal/simtime"
 	"hamoffload/internal/trace"
 	"hamoffload/internal/units"
@@ -172,6 +173,13 @@ type Timing struct {
 	// steps) for Chrome-trace export, latency breakdowns, and the per-node
 	// metrics registries. Nil disables recording at zero cost.
 	Tracer *trace.Tracer
+
+	// Faults, when non-nil, is the deterministic fault injector consulted at
+	// the substrate hook points (privileged/user DMA, LHM/SHM, VEOS daemon
+	// entry, PCIe links). Nil — the default — injects nothing at zero cost,
+	// exactly like Tracer. Substrate rules key their Node field to the VE
+	// card id.
+	Faults *faults.Injector
 }
 
 // DefaultTiming returns the calibrated constants reproducing the paper's

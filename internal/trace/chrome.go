@@ -14,6 +14,7 @@ type chromeEvent struct {
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"` // microseconds
 	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("t" = thread)
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
@@ -83,10 +84,6 @@ func (t *Tracer) ExportChrome(w io.Writer) error {
 	for _, s := range spans {
 		pid := pidOf(s)
 		tid := tidOf(pid, s.Tid)
-		dur := s.Dur().Microseconds()
-		if dur <= 0 {
-			dur = 0.001
-		}
 		var args map[string]any
 		if s.Phase != "" || s.MsgID >= 0 {
 			args = map[string]any{}
@@ -96,6 +93,18 @@ func (t *Tracer) ExportChrome(w io.Writer) error {
 			if s.MsgID >= 0 {
 				args["msg"] = s.MsgID
 			}
+		}
+		if s.Instant {
+			events = append(events, chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "i",
+				Ts: s.Start.Microseconds(), S: "t",
+				Pid: pid, Tid: tid, Args: args,
+			})
+			continue
+		}
+		dur := s.Dur().Microseconds()
+		if dur <= 0 {
+			dur = 0.001
 		}
 		events = append(events, chromeEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",

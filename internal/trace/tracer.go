@@ -40,6 +40,12 @@ const (
 	PhaseWait Phase = "wait"
 	// PhaseTransfer covers bulk data movement (Put/Get).
 	PhaseTransfer Phase = "transfer"
+	// PhaseFault marks an injected fault firing (instant event).
+	PhaseFault Phase = "fault"
+	// PhaseRetry marks a transient failure being retried (instant event).
+	PhaseRetry Phase = "retry"
+	// PhaseTimeout marks an offload exceeding its timeout (instant event).
+	PhaseTimeout Phase = "timeout"
 )
 
 // NodeInfra marks spans recorded by shared infrastructure (DMA engines, VEO
@@ -59,6 +65,7 @@ type Span struct {
 	MsgID   int64  // message correlator, -1 when unknown
 	Start   simtime.Time
 	End     simtime.Time
+	Instant bool // a point-in-time marker (fault, retry, timeout), not a span
 }
 
 // Dur returns the span length.
@@ -119,6 +126,20 @@ func (t *Tracer) Span(p *simtime.Proc, cat, name string) func() {
 			Start: start, End: p.Now(),
 		})
 	}
+}
+
+// Instant records an infrastructure point-in-time marker (fault injection
+// sites in the DMA/VEOS layers) at the process's current simulated time.
+func (t *Tracer) Instant(p *simtime.Proc, cat, name string) {
+	if t == nil {
+		return
+	}
+	now := p.Now()
+	t.record(Span{
+		Name: name, Cat: cat, Tid: p.Name(),
+		Node: NodeInfra, MsgID: -1,
+		Start: now, End: now, Instant: true,
+	})
 }
 
 // record appends a finished span and folds it into its node's registry.
@@ -240,6 +261,21 @@ func (n *NodeTracer) Since(ph Phase, name string, msgID int64, start simtime.Tim
 		Name: name, Cat: "ham", Phase: ph, Tid: n.tid,
 		Node: n.node, Backend: n.backend, MsgID: msgID,
 		Start: start, End: n.clock.Now(),
+	})
+}
+
+// Instant records a point-in-time lifecycle marker — a fault firing, a
+// retry, a timeout — at the clock's current reading. Exported as a Chrome
+// instant event rather than a duration span.
+func (n *NodeTracer) Instant(ph Phase, name string, msgID int64) {
+	if n == nil {
+		return
+	}
+	now := n.clock.Now()
+	n.t.record(Span{
+		Name: name, Cat: "ham", Phase: ph, Tid: n.tid,
+		Node: n.node, Backend: n.backend, MsgID: msgID,
+		Start: now, End: now, Instant: true,
 	})
 }
 

@@ -38,6 +38,10 @@ func (h *Proc) Destroy(p *simtime.Proc) error {
 // Card returns the card the process runs on (simulation-side accessor).
 func (h *Proc) Card() *veos.Card { return h.card }
 
+// Alive reports whether the VE process is still usable: created, not
+// crashed. Backends use it for cheap node-health checks between DMA polls.
+func (h *Proc) Alive() bool { return h.card.Process() == h.vp && !h.card.Crashed() }
+
 // Process returns the underlying VEOS process (simulation-side accessor).
 func (h *Proc) Process() *veos.Process { return h.vp }
 

@@ -77,7 +77,7 @@ func (ctx *Context) workerLoop(p *simtime.Proc) {
 	)
 	interval := t.VEOCmdPollInterval
 	var idle simtime.Duration
-	for !ctx.stop {
+	for !ctx.stop && !ctx.proc.card.crashed {
 		cmd, ok := ctx.cmdQ.TryPop()
 		if !ok {
 			p.Sleep(interval)
@@ -103,14 +103,22 @@ func (ctx *Context) workerLoop(p *simtime.Proc) {
 // The caller pays the VH-side submission chain; the command then travels the
 // PCIe doorbell path and becomes visible to the worker.
 func (ctx *Context) Submit(p *simtime.Proc, k Kernel, args []uint64) *Command {
-	t := ctx.proc.card.Timing
+	card := ctx.proc.card
+	t := card.Timing
+	if err := card.enterVEOS(p); err != nil {
+		// The doorbell has nowhere to ring: hand back an already-failed
+		// command so VEO's request/wait surface stays uniform.
+		cmd := &Command{done: simtime.NewEvent(card.Eng), err: err}
+		cmd.done.Fire()
+		return cmd
+	}
 	defer t.Tracer.Span(p, "veo", "veo_call_async")()
 	p.Sleep(t.VEOLibOverhead + t.VEOCallSubmit + t.IPCUserVEOS + t.DriverHop +
-		ctx.proc.card.Path.OneWayLatency())
+		card.Path.OneWayLatency())
 	cmd := &Command{
 		Kernel: k,
 		Args:   args,
-		done:   simtime.NewEvent(ctx.proc.card.Eng),
+		done:   simtime.NewEvent(card.Eng),
 	}
 	ctx.cmdQ.Push(cmd)
 	return cmd

@@ -8,6 +8,7 @@
 package veos
 
 import (
+	"errors"
 	"fmt"
 
 	"hamoffload/internal/dma"
@@ -19,6 +20,12 @@ import (
 	"hamoffload/internal/vecore"
 	"hamoffload/internal/vemem"
 )
+
+// ErrCrashed marks operations against a VE whose process has crashed (a VE
+// exception, or an injected faults.Crash). It is a permanent failure: the
+// backends map it to core.ErrNodeFailed, and the card serves nothing until
+// the dead process is destroyed and a fresh one created.
+var ErrCrashed = errors.New("veos: VE process crashed")
 
 // Kernel is a function loadable into a VE process — the simulation's stand-in
 // for a symbol in an NCC-compiled VE shared library. Arguments and the return
@@ -45,6 +52,7 @@ type Card struct {
 	Cores *simtime.Semaphore
 
 	proc    *Process
+	crashed bool
 	vhcalls map[string]VHHandler
 }
 
@@ -82,6 +90,56 @@ func NewCard(eng *simtime.Engine, id int, t topology.Timing, host *hostmem.Host,
 // Process returns the running VE process, if any.
 func (c *Card) Process() *Process { return c.proc }
 
+// Crashed reports whether the card's VE process has crashed. The target
+// serve loops poll it to bail out instead of spinning on a dead machine.
+func (c *Card) Crashed() bool { return c.crashed }
+
+// Kill crashes the VE process: execution contexts stop after their current
+// command, every queued command fails with ErrCrashed, and all further VEOS
+// services on the card refuse work until recovery (DestroyProcess followed
+// by a fresh CreateProcess). Chaos tests and the faults.Crash schedule both
+// funnel through here.
+func (c *Card) Kill() {
+	if c.crashed {
+		return
+	}
+	c.crashed = true
+	if c.proc == nil {
+		return
+	}
+	for _, ctx := range c.proc.ctxs {
+		ctx.stop = true
+		for {
+			cmd, ok := ctx.cmdQ.TryPop()
+			if !ok {
+				break
+			}
+			cmd.err = fmt.Errorf("ve %d: %w", c.ID, ErrCrashed)
+			cmd.done.Fire()
+		}
+	}
+}
+
+// enterVEOS runs the shared fault hooks of every VEOS daemon entry point:
+// a scheduled stall window delays the caller, a scheduled crash kills the
+// card, and a dead card refuses service.
+func (c *Card) enterVEOS(p *simtime.Proc) error {
+	if inj := c.Timing.Faults; inj != nil {
+		if d := inj.StallDelay(p.Now(), c.ID); d > 0 {
+			c.Timing.Tracer.Instant(p, "fault", "veos-stall")
+			p.Sleep(d)
+		}
+		if inj.CrashNow(p.Now(), c.ID) {
+			c.Timing.Tracer.Instant(p, "fault", "ve-crash")
+			c.Kill()
+		}
+	}
+	if c.crashed {
+		return fmt.Errorf("ve %d: %w", c.ID, ErrCrashed)
+	}
+	return nil
+}
+
 // CreateProcess boots a VE process on the card (veos work: load the loader,
 // set up memory management). The calling process p is the VH program; it
 // blocks for the creation time. Only one process per card is modelled, like
@@ -90,6 +148,7 @@ func (c *Card) CreateProcess(p *simtime.Proc) (*Process, error) {
 	if c.proc != nil {
 		return nil, fmt.Errorf("veos: VE %d already runs a process", c.ID)
 	}
+	c.crashed = false // booting a fresh process recovers a crashed card
 	p.Sleep(c.Timing.ProcCreate)
 	vp := &Process{
 		card:  c,
@@ -117,6 +176,9 @@ func (c *Card) DestroyProcess(p *simtime.Proc) error {
 // library cost and the IPC into the veos daemon, whose DMA manager performs
 // the privileged transfer of n bytes from VH hostAddr into VE veAddr.
 func (c *Card) DMAWrite(p *simtime.Proc, veAddr, hostAddr uint64, n int64) error {
+	if err := c.enterVEOS(p); err != nil {
+		return err
+	}
 	defer c.Timing.Tracer.Span(p, "veo", "veo_write_mem")()
 	p.Sleep(c.Timing.VEOLibOverhead + c.Timing.IPCUserVEOS + c.Timing.DriverHop)
 	if err := c.Priv.Write(p, memAddr(veAddr), memAddr(hostAddr), n); err != nil {
@@ -128,6 +190,9 @@ func (c *Card) DMAWrite(p *simtime.Proc, veAddr, hostAddr uint64, n int64) error
 
 // DMARead services a veo_read_mem: n bytes from VE veAddr into VH hostAddr.
 func (c *Card) DMARead(p *simtime.Proc, hostAddr, veAddr uint64, n int64) error {
+	if err := c.enterVEOS(p); err != nil {
+		return err
+	}
 	defer c.Timing.Tracer.Span(p, "veo", "veo_read_mem")()
 	p.Sleep(c.Timing.VEOLibOverhead + c.Timing.IPCUserVEOS + c.Timing.DriverHop)
 	if err := c.Priv.Read(p, memAddr(hostAddr), memAddr(veAddr), n); err != nil {
@@ -199,6 +264,9 @@ func (vp *Process) FindSymbol(p *simtime.Proc, sym string) (Kernel, error) {
 // AllocMem allocates n bytes of HBM on behalf of the VH (veo_alloc_mem):
 // an IPC round trip plus allocator work.
 func (vp *Process) AllocMem(p *simtime.Proc, n int64) (uint64, error) {
+	if err := vp.card.enterVEOS(p); err != nil {
+		return 0, err
+	}
 	p.Sleep(vp.card.Timing.AllocMem)
 	addr, err := vp.card.Mem.Alloc(n)
 	return uint64(addr), err
@@ -206,6 +274,9 @@ func (vp *Process) AllocMem(p *simtime.Proc, n int64) (uint64, error) {
 
 // FreeMem frees a veo_alloc_mem allocation.
 func (vp *Process) FreeMem(p *simtime.Proc, addr uint64) error {
+	if err := vp.card.enterVEOS(p); err != nil {
+		return err
+	}
 	p.Sleep(vp.card.Timing.AllocMem)
 	return vp.card.Mem.Free(memAddr(addr))
 }

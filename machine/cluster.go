@@ -73,10 +73,11 @@ func ConnectCluster(p *Proc, c *Cluster, opts ProtocolOptions) (*core.Runtime, e
 	}
 	b, err := mpib.Connect(p, c.Eng, c.IB, cards, mpib.Options{
 		Local: dmab.Options{
-			NumBuffers:   opts.NumBuffers,
-			BufSize:      opts.BufSize,
-			ResultInline: opts.ResultInline,
-			ResultViaDMA: opts.ResultViaDMA,
+			NumBuffers:     opts.NumBuffers,
+			BufSize:        opts.BufSize,
+			ResultInline:   opts.ResultInline,
+			ResultViaDMA:   opts.ResultViaDMA,
+			OffloadTimeout: opts.OffloadTimeout,
 		},
 	})
 	if err != nil {
@@ -84,5 +85,6 @@ func ConnectCluster(p *Proc, c *Cluster, opts ProtocolOptions) (*core.Runtime, e
 	}
 	rt := core.NewRuntime(b, "x86_64-vh-cluster")
 	rt.SetTracer(c.Nodes[0].Timing.Tracer.Node(0, "mpib", p))
+	rt.SetFaultTolerance(opts.Retry)
 	return rt, nil
 }

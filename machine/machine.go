@@ -20,6 +20,7 @@ import (
 	"hamoffload/internal/backend/veob"
 	"hamoffload/internal/core"
 	"hamoffload/internal/dma"
+	"hamoffload/internal/faults"
 	"hamoffload/internal/hostmem"
 	"hamoffload/internal/pcie"
 	"hamoffload/internal/simtime"
@@ -65,6 +66,10 @@ type Config struct {
 	VEMemoryBytes int64
 	// Timing overrides the calibrated cost model; nil uses DefaultTiming.
 	Timing *topology.Timing
+	// Faults installs a deterministic fault-injection plan on the machine's
+	// substrate (DMA engines, PCIe links, VEOS). Nil — the default — means
+	// no injection and zero overhead; see internal/faults and docs/FAULTS.md.
+	Faults *faults.Plan
 }
 
 // Machine is one simulated SX-Aurora node: engine, fabric, host memory and
@@ -103,6 +108,9 @@ func newWithEngine(eng *simtime.Engine, prefix string, cfg Config) (*Machine, er
 	}
 	if cfg.HugePages != nil && !*cfg.HugePages {
 		timing.HostPageSize = 4 * units.KiB
+	}
+	if cfg.Faults != nil {
+		timing.Faults = faults.New(cfg.Faults)
 	}
 	if err := timing.Validate(); err != nil {
 		return nil, err
@@ -177,6 +185,14 @@ type ProtocolOptions struct {
 	ResultViaDMA bool
 	// VEs limits the connection to the machine's first n cards (default all).
 	VEs int
+	// OffloadTimeout bounds the simulated wait for any single offload
+	// attempt; past it, the future fails with core.ErrOffloadTimeout. The
+	// default 0 waits forever (the pre-fault-tolerance behaviour).
+	OffloadTimeout Duration
+	// Retry is the runtime's policy for transient offload failures. The
+	// zero value disables retries and keeps the wire format bit-identical
+	// to the plain protocol; see core.FaultTolerance.
+	Retry core.FaultTolerance
 }
 
 func (o ProtocolOptions) cards(m *Machine) []*veos.Card {
@@ -191,15 +207,17 @@ func (o ProtocolOptions) cards(m *Machine) []*veos.Card {
 // It returns the host runtime; targets are nodes 1..VEs.
 func ConnectVEO(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error) {
 	b, err := veob.Connect(p, opts.cards(m), veob.Options{
-		NumBuffers:   opts.NumBuffers,
-		BufSize:      opts.BufSize,
-		ResultInline: opts.ResultInline,
+		NumBuffers:     opts.NumBuffers,
+		BufSize:        opts.BufSize,
+		ResultInline:   opts.ResultInline,
+		OffloadTimeout: opts.OffloadTimeout,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rt := core.NewRuntime(b, "x86_64-vh")
 	rt.SetTracer(m.Timing.Tracer.Node(0, "veob", p))
+	rt.SetFaultTolerance(opts.Retry)
 	return rt, nil
 }
 
@@ -208,15 +226,17 @@ func ConnectVEO(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 // polls, user-DMA message fetches and SHM result stores.
 func ConnectDMA(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error) {
 	b, err := dmab.Connect(p, opts.cards(m), dmab.Options{
-		NumBuffers:   opts.NumBuffers,
-		BufSize:      opts.BufSize,
-		ResultInline: opts.ResultInline,
-		ResultViaDMA: opts.ResultViaDMA,
+		NumBuffers:     opts.NumBuffers,
+		BufSize:        opts.BufSize,
+		ResultInline:   opts.ResultInline,
+		ResultViaDMA:   opts.ResultViaDMA,
+		OffloadTimeout: opts.OffloadTimeout,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rt := core.NewRuntime(b, "x86_64-vh")
 	rt.SetTracer(m.Timing.Tracer.Node(0, "dmab", p))
+	rt.SetFaultTolerance(opts.Retry)
 	return rt, nil
 }

@@ -75,6 +75,30 @@ type (
 // HostNode is the conventional host rank.
 const HostNode = core.HostNode
 
+// FaultTolerance is the runtime's retry policy for transient offload
+// failures; install it with rt.SetFaultTolerance (or through
+// machine.ProtocolOptions.Retry). The zero value disables retries.
+type FaultTolerance = core.FaultTolerance
+
+// Failure classification for offload errors, re-exported from core. Match
+// with errors.Is; see docs/FAULTS.md.
+var (
+	// ErrNodeFailed marks a node as failed: in-flight futures to it fail,
+	// and new offloads are rejected until Runtime.RecoverNode succeeds.
+	ErrNodeFailed = core.ErrNodeFailed
+	// ErrOffloadTimeout reports an offload that exceeded the backend's
+	// configured timeout on the simulated clock.
+	ErrOffloadTimeout = core.ErrOffloadTimeout
+	// ErrPayloadCorrupt reports a checksum or envelope violation on a
+	// fault-tolerant message; it is transient and retried.
+	ErrPayloadCorrupt = core.ErrPayloadCorrupt
+)
+
+// IsTransient reports whether err is worth retrying (corrupt payloads and
+// backend errors that declare Transient() true; node failures and timeouts
+// are permanent).
+func IsTransient(err error) bool { return core.IsTransient(err) }
+
 // Generic type surface, re-exported (generic aliases).
 type (
 	// BufferPtr points to target memory of element type T (buffer_ptr<T>).
