@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check test race bench repro examples fmt vet lint cover
+.PHONY: all check test race bench bench-check gobench repro examples fmt vet lint cover
 
 all: check
 
@@ -16,7 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark-regression harness: rerun the Fig. 9 and batch experiments and
+# refresh the committed BENCH_fig9.json / BENCH_batch.json baselines.
 bench:
+	$(GO) run ./cmd/benchreg
+
+# Verify a fresh run against the committed baselines. Simulated time is
+# deterministic, so CI demands bit-exact reproduction (-tol 0); use
+# `go run ./cmd/benchreg -check -tol 0.05` manually for a looser gate.
+bench-check:
+	$(GO) run ./cmd/benchreg -check -tol 0
+
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper artefact (Fig. 9, Fig. 10, Table IV, ablations).

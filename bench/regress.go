@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file is the benchmark-regression harness: it reduces the Fig. 9 and
+// batch experiments to per-operation latency statistics, serialises them as
+// JSON baselines (BENCH_fig9.json, BENCH_batch.json at the repo root), and
+// compares fresh runs against the committed baselines within a tolerance.
+// All times are simulated, so on an unchanged tree a rerun reproduces the
+// baseline exactly; any drift is a real change to the modelled protocols.
+
+// Stats summarises per-operation latency samples in microseconds of
+// simulated time. Percentiles are nearest-rank over the sorted samples.
+type Stats struct {
+	N      int     `json:"n"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// NewStats computes Stats from raw samples.
+func NewStats(samples []float64) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, s := range sorted {
+		sum += s
+	}
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return Stats{
+		N:      len(sorted),
+		MeanUS: sum / float64(len(sorted)),
+		P50US:  rank(0.50),
+		P99US:  rank(0.99),
+	}
+}
+
+// ReportEntry is one measured operation.
+type ReportEntry struct {
+	Name string `json:"name"`
+	Stats
+}
+
+// Report is one experiment's set of entries. Entries is a slice, not a map,
+// so the JSON serialisation is byte-stable across runs.
+type Report struct {
+	Experiment string        `json:"experiment"`
+	Entries    []ReportEntry `json:"entries"`
+}
+
+// Entry returns the named entry, or false.
+func (r Report) Entry(name string) (ReportEntry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return ReportEntry{}, false
+}
+
+// Fig9Report measures the two HAM-Offload bars of Fig. 9 with per-offload
+// samples and returns them as a regression report.
+func Fig9Report(cfg Fig9Config) (Report, error) {
+	cfg.fill()
+	r := Report{Experiment: "fig9"}
+	for _, sys := range []struct {
+		name string
+		dma  bool
+	}{
+		{"ham-veo-empty", false},
+		{"ham-dma-empty", true},
+	} {
+		samples, err := MeasureHAMEmptySamples(cfg, sys.dma)
+		if err != nil {
+			return r, fmt.Errorf("bench: %s: %w", sys.name, err)
+		}
+		r.Entries = append(r.Entries, ReportEntry{Name: sys.name, Stats: NewStats(samples)})
+	}
+	return r, nil
+}
+
+// BatchReport measures the batch sweep with per-batch samples (amortised to
+// per-message cost) and returns it as a regression report. The entry names
+// are "batch-<k>-per-msg" plus the "single-dma" baseline.
+func BatchReport(cfg BatchConfig) (Report, error) {
+	cfg.fill()
+	r := Report{Experiment: "batch"}
+	single, err := MeasureHAMEmptySamples(Fig9Config{Socket: cfg.Socket, Reps: cfg.Reps, Warmup: cfg.Warmup}, true)
+	if err != nil {
+		return r, fmt.Errorf("bench: single-dma: %w", err)
+	}
+	r.Entries = append(r.Entries, ReportEntry{Name: "single-dma", Stats: NewStats(single)})
+	for _, k := range cfg.Sizes {
+		samples, err := MeasureBatchEmptySamples(cfg, k)
+		if err != nil {
+			return r, fmt.Errorf("bench: batch-%d: %w", k, err)
+		}
+		r.Entries = append(r.Entries, ReportEntry{
+			Name:  fmt.Sprintf("batch-%d-per-msg", k),
+			Stats: NewStats(samples),
+		})
+	}
+	return r, nil
+}
+
+// WriteReport serialises r as indented JSON at path (trailing newline, so
+// the baseline diffs cleanly).
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a baseline written by WriteReport.
+func ReadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// CompareReports checks cur against the committed baseline base: every
+// baseline entry must still exist, and neither its mean nor its p99 may
+// regress (grow) by more than tol (e.g. 0.05 = 5%). Improvements pass.
+// It returns one human-readable line per violation; empty means clean.
+func CompareReports(base, cur Report, tol float64) []string {
+	var bad []string
+	if base.Experiment != cur.Experiment {
+		bad = append(bad, fmt.Sprintf("experiment mismatch: baseline %q vs current %q",
+			base.Experiment, cur.Experiment))
+		return bad
+	}
+	for _, be := range base.Entries {
+		ce, ok := cur.Entry(be.Name)
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s/%s: entry missing from current run",
+				base.Experiment, be.Name))
+			continue
+		}
+		check := func(metric string, baseV, curV float64) {
+			if baseV <= 0 {
+				return
+			}
+			if curV > baseV*(1+tol) {
+				bad = append(bad, fmt.Sprintf("%s/%s: %s regressed %.2f -> %.2f us (+%.1f%%, tolerance %.1f%%)",
+					base.Experiment, be.Name, metric, baseV, curV,
+					(curV/baseV-1)*100, tol*100))
+			}
+		}
+		check("mean", be.MeanUS, ce.MeanUS)
+		check("p99", be.P99US, ce.P99US)
+	}
+	return bad
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBatchAmortisation is the design target of docs/BATCHING.md as a
+// tier-1 test: a 16-message batch's amortised per-message empty-offload
+// cost must be at most half the single-message DMA-protocol cost (the
+// committed baseline says it is ~8%).
+func TestBatchAmortisation(t *testing.T) {
+	r, err := Batch(BatchConfig{Reps: 10, Warmup: 3, Sizes: []int{1, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SingleUS < 4 || r.SingleUS > 8 {
+		t.Errorf("single-message baseline %.2f us drifted from the Fig. 9 ballpark (5.93)", r.SingleUS)
+	}
+	var b1, b16 *BatchPoint
+	for i := range r.Points {
+		switch r.Points[i].BatchSize {
+		case 1:
+			b1 = &r.Points[i]
+		case 16:
+			b16 = &r.Points[i]
+		}
+	}
+	if b1 == nil || b16 == nil {
+		t.Fatalf("sweep missing sizes: %+v", r.Points)
+	}
+	// A batch of one pays only the 8-byte frame header: within a few
+	// percent of the plain protocol.
+	if b1.PerMsgUS > r.SingleUS*1.10 {
+		t.Errorf("batch of 1 costs %.2f us vs single %.2f us (>10%% framing overhead)",
+			b1.PerMsgUS, r.SingleUS)
+	}
+	if b16.PerMsgUS > r.SingleUS*0.5 {
+		t.Errorf("batch of 16 amortised to %.2f us/msg vs single %.2f us — above the 50%% target",
+			b16.PerMsgUS, r.SingleUS)
+	}
+}
+
+// TestRegressReports pins the regression harness itself: stats reduction,
+// baseline round trip, and the comparator's verdicts.
+func TestRegressReports(t *testing.T) {
+	s := NewStats([]float64{5, 1, 4, 2, 3})
+	if s.N != 5 || s.MeanUS != 3 || s.P50US != 3 || s.P99US != 5 {
+		t.Fatalf("NewStats = %+v", s)
+	}
+	if z := (NewStats(nil)); z.N != 0 || z.MeanUS != 0 {
+		t.Fatalf("NewStats(nil) = %+v", z)
+	}
+
+	base := Report{Experiment: "unit", Entries: []ReportEntry{
+		{Name: "op-a", Stats: Stats{N: 3, MeanUS: 10, P50US: 9, P99US: 12}},
+		{Name: "op-b", Stats: Stats{N: 3, MeanUS: 2, P50US: 2, P99US: 2.5}},
+	}}
+	path := filepath.Join(t.TempDir(), "BENCH_unit.json")
+	if err := WriteReport(path, base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CompareReports(base, loaded, 0); len(bad) != 0 {
+		t.Fatalf("round-tripped baseline does not compare clean: %v", bad)
+	}
+
+	// Within tolerance passes; beyond it fails, naming the stat.
+	cur := Report{Experiment: "unit", Entries: []ReportEntry{
+		{Name: "op-a", Stats: Stats{N: 3, MeanUS: 10.4, P50US: 9, P99US: 12}},
+		{Name: "op-b", Stats: Stats{N: 3, MeanUS: 2, P50US: 2, P99US: 4}},
+	}}
+	if bad := CompareReports(base, cur, 0.05); len(bad) != 1 ||
+		!strings.Contains(bad[0], "op-b") || !strings.Contains(bad[0], "p99") {
+		t.Fatalf("CompareReports(tol 5%%) = %v, want exactly the op-b p99 regression", bad)
+	}
+	// Improvements never fail.
+	better := Report{Experiment: "unit", Entries: []ReportEntry{
+		{Name: "op-a", Stats: Stats{N: 3, MeanUS: 5, P50US: 4, P99US: 6}},
+		{Name: "op-b", Stats: Stats{N: 3, MeanUS: 1, P50US: 1, P99US: 1}},
+	}}
+	if bad := CompareReports(base, better, 0); len(bad) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", bad)
+	}
+	// Missing entries and experiment mismatches are violations.
+	if bad := CompareReports(base, Report{Experiment: "unit"}, 0.5); len(bad) != 2 {
+		t.Fatalf("missing entries = %v, want 2 violations", bad)
+	}
+	if bad := CompareReports(base, Report{Experiment: "other"}, 0.5); len(bad) != 1 {
+		t.Fatalf("experiment mismatch = %v", bad)
+	}
+}

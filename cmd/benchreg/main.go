@@ -1,0 +1,96 @@
+// Command benchreg is the benchmark-regression harness. It runs the Fig. 9
+// and batch experiments with per-operation sampling and either refreshes the
+// committed JSON baselines or verifies a fresh run against them:
+//
+//	benchreg                 rerun and (re)write BENCH_fig9.json, BENCH_batch.json
+//	benchreg -check          rerun and fail if any stat regresses beyond -tol
+//	benchreg -check -tol 0   demand bit-exact reproduction (simulated time is
+//	                         deterministic, so this holds on an unchanged tree)
+//
+// In both modes it also enforces the batching design target: a 16-message
+// batch's amortised per-message empty-offload cost must stay at or below
+// half the single-message DMA-protocol cost (see docs/BATCHING.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hamoffload/bench"
+)
+
+const amortisationGate = 0.5 // batch-16 per-msg mean <= 50% of single-dma mean
+
+func main() {
+	check := flag.Bool("check", false, "compare against the committed baselines instead of rewriting them")
+	tol := flag.Float64("tol", 0.05, "allowed relative regression per stat in -check mode (0.05 = 5%)")
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json baselines")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchreg: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(os.Stderr, "benchreg: running fig9 experiment...")
+	fig9, err := bench.Fig9Report(bench.Fig9Config{})
+	if err != nil {
+		fail("fig9: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "benchreg: running batch experiment...")
+	batch, err := bench.BatchReport(bench.BatchConfig{})
+	if err != nil {
+		fail("batch: %v", err)
+	}
+
+	// The design target is checked in every mode: refreshing a baseline that
+	// violates it should be just as loud as regressing against one.
+	single, ok1 := batch.Entry("single-dma")
+	b16, ok2 := batch.Entry("batch-16-per-msg")
+	if !ok1 || !ok2 {
+		fail("batch report is missing single-dma or batch-16-per-msg")
+	}
+	ratio := b16.MeanUS / single.MeanUS
+	fmt.Fprintf(os.Stderr, "benchreg: batch-16 per-msg %.2f us vs single %.2f us (ratio %.2f, gate %.2f)\n",
+		b16.MeanUS, single.MeanUS, ratio, amortisationGate)
+	if ratio > amortisationGate {
+		fail("amortisation gate failed: batch-16 per-msg cost is %.0f%% of single-message cost (target <= %.0f%%)",
+			ratio*100, amortisationGate*100)
+	}
+
+	reports := []struct {
+		path string
+		rep  bench.Report
+	}{
+		{filepath.Join(*dir, "BENCH_fig9.json"), fig9},
+		{filepath.Join(*dir, "BENCH_batch.json"), batch},
+	}
+
+	if !*check {
+		for _, r := range reports {
+			if err := bench.WriteReport(r.path, r.rep); err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintln(os.Stderr, "benchreg: wrote", r.path)
+		}
+		return
+	}
+
+	bad := 0
+	for _, r := range reports {
+		base, err := bench.ReadReport(r.path)
+		if err != nil {
+			fail("no baseline %s (run benchreg without -check to create it): %v", r.path, err)
+		}
+		for _, line := range bench.CompareReports(base, r.rep, *tol) {
+			fmt.Fprintln(os.Stderr, "benchreg:", line)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fail("%d stat(s) regressed beyond tolerance", bad)
+	}
+	fmt.Fprintln(os.Stderr, "benchreg: baselines hold")
+}

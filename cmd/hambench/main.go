@@ -17,6 +17,7 @@
 //	hambench -exp remote              §VI outlook: offloading over InfiniBand
 //	hambench -exp putget              public-API data path vs Fig. 10 curves
 //	hambench -exp faults              fault-tolerance overhead on the Fig. 9 path
+//	hambench -exp batch               batched-message amortisation vs Fig. 9 baseline
 //	hambench -exp all                 everything above
 //
 // Additional flags: -hist prints per-offload latency histograms with fig9;
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, all)")
+	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, batch, all)")
 	socket := flag.Int("socket", 0, "VH socket to offload from (fig9)")
 	reps := flag.Int("reps", 0, "timed repetitions per point (0 = defaults)")
 	maxSize := flag.Int64("max-size", (256 * units.MiB).Int64(), "largest transfer size for sweeps")
@@ -283,6 +284,15 @@ func main() {
 			return err
 		}
 		bench.RenderAblation(os.Stdout, "Fault tolerance — empty-offload cost (Fig. 9 path)", rows)
+		return nil
+	})
+
+	run("batch", func() error {
+		r, err := bench.Batch(bench.BatchConfig{Socket: *socket, Reps: *reps})
+		if err != nil {
+			return err
+		}
+		bench.RenderBatch(os.Stdout, r)
 		return nil
 	})
 

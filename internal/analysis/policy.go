@@ -31,6 +31,7 @@ var desPackages = []string{
 	"hamoffload/internal/ib",
 	"hamoffload/internal/topology",
 	"hamoffload/bench",
+	"hamoffload/sched", // placement must stay a pure function of DES-visible state
 }
 
 // wallClockPackages are allowed to use real time and raw goroutines: they
@@ -42,10 +43,12 @@ var wallClockPackages = []string{
 	"hamoffload/internal/backend/mpib",
 }
 
-// goroutineExtra extends the raw-goroutine ban to the offload runtime core,
-// which multiplexes backends and must not fork OS concurrency of its own.
+// goroutineExtra extends the raw-goroutine ban to the offload runtime core
+// (which multiplexes backends and must not fork OS concurrency of its own)
+// and the scheduler built on top of it.
 var goroutineExtra = []string{
 	"hamoffload/internal/core",
+	"hamoffload/sched",
 }
 
 // deterministicOutputPackages produce artifacts that must be bit-identical
@@ -57,7 +60,9 @@ var deterministicOutputPackages = []string{
 	"hamoffload/internal/faults",
 	"hamoffload/cmd/veinfo",
 	"hamoffload/cmd/hambench",
+	"hamoffload/cmd/benchreg",
 	"hamoffload/bench",
+	"hamoffload/sched", // batch frames and placement feed deterministic traces
 }
 
 // unitcastExempt own the unit types and may convert freely.

@@ -53,6 +53,22 @@ var (
 
 	cfWho = core.NewFunc0[int]("conformance.who",
 		func(c *core.Ctx) (int, error) { return int(c.Node()), nil })
+
+	// cfBump increments a one-cell counter on the target and returns the new
+	// value — a side effect that makes duplicate execution visible, which is
+	// what the batch retry exercise needs.
+	cfBump = core.NewFunc1[int64]("conformance.bump",
+		func(c *core.Ctx, buf core.BufferPtr[int64]) (int64, error) {
+			v, err := core.ReadLocal(c, buf, 0, 1)
+			if err != nil {
+				return 0, err
+			}
+			v[0]++
+			if err := core.WriteLocal(c, buf, 0, v); err != nil {
+				return 0, err
+			}
+			return v[0], nil
+		})
 )
 
 // Reporter receives failures; *testing.T satisfies it.
@@ -168,6 +184,159 @@ func Exercise(t Reporter, rt *core.Runtime, target core.NodeID) {
 	}
 	if _, err := core.Allocate[float64](rt, target, -1); err == nil {
 		t.Errorf("negative allocate accepted")
+	}
+}
+
+// ExerciseBatch runs the message-batching side of the contract: with a
+// BatchPolicy armed, queued offloads coalesce into batch frames yet behave
+// exactly like individual offloads — results arrive in submission order, a
+// failing handler poisons only its own future, frames split under count and
+// byte caps, unflushed futures self-flush in Get, and plain Async offloads
+// interleave freely. The target needs no configuration: batch frames are
+// recognised by magic on any runtime. It must run in the host's execution
+// context; the runtime's batching policy is restored on return.
+func ExerciseBatch(t Reporter, rt *core.Runtime, target core.NodeID) {
+	saved := rt.Batching()
+	defer rt.SetBatching(saved)
+	rt.SetBatching(core.BatchPolicy{MaxMessages: 8})
+
+	// --- ordering across frames ----------------------------------------------
+	// 20 offloads under MaxMessages 8 ship as 8+8+4; the futures must still
+	// settle to their own submissions, in submission order.
+	fns := make([]core.Functor[int64], 20)
+	for i := range fns {
+		fns[i] = cfEcho.Bind(int64(i * 3))
+	}
+	for i, f := range core.AsyncBatch(rt, target, fns) {
+		if v, err := f.Get(); err != nil || v != int64(i*3) {
+			t.Errorf("batch: future %d = %d, %v (want %d)", i, v, err, i*3)
+		}
+	}
+
+	// --- mixed result types in one frame ---------------------------------------
+	b := core.NewBatcher(rt)
+	fe := core.BatchAdd(b, target, cfEcho.Bind(404))
+	fc := core.BatchAdd(b, target, cfConcat.Bind("bat", "ched"))
+	if n := b.Pending(target); n != 2 {
+		t.Errorf("batch: Pending = %d (want 2)", n)
+	}
+	b.FlushAll()
+	if v, err := fe.Get(); err != nil || v != 404 {
+		t.Errorf("batch: mixed echo = %d, %v", v, err)
+	}
+	if s, err := fc.Get(); err != nil || s != "batched" {
+		t.Errorf("batch: mixed concat = %q, %v", s, err)
+	}
+
+	// --- per-message error isolation -------------------------------------------
+	f1 := core.BatchAdd(b, target, cfEcho.Bind(21))
+	ff := core.BatchAdd(b, target, cfFail.Bind())
+	f2 := core.BatchAdd(b, target, cfEcho.Bind(22))
+	b.FlushAll()
+	if v, err := f1.Get(); err != nil || v != 21 {
+		t.Errorf("batch: echo before failing entry = %d, %v", v, err)
+	}
+	if _, err := ff.Get(); err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Errorf("batch: failing entry = %v (want deliberate failure)", err)
+	}
+	if v, err := f2.Get(); err != nil || v != 22 {
+		t.Errorf("batch: echo after failing entry = %d, %v", v, err)
+	}
+
+	// --- Get on an unflushed future forces the flush ----------------------------
+	lone := core.BatchAdd(b, target, cfEcho.Bind(77))
+	if v, err := lone.Get(); err != nil || v != 77 {
+		t.Errorf("batch: self-flushing future = %d, %v", v, err)
+	}
+
+	// --- byte-capped splitting ---------------------------------------------------
+	rt.SetBatching(core.BatchPolicy{MaxMessages: 1 << 20, MaxBytes: 256})
+	caps := make([]core.Functor[int64], 12)
+	for i := range caps {
+		caps[i] = cfEcho.Bind(int64(1000 + i))
+	}
+	for i, f := range core.AsyncBatch(rt, target, caps) {
+		if v, err := f.Get(); err != nil || v != int64(1000+i) {
+			t.Errorf("batch: byte-capped future %d = %d, %v", i, v, err)
+		}
+	}
+
+	// --- plain offloads interleave with batched ones -----------------------------
+	rt.SetBatching(core.BatchPolicy{MaxMessages: 4})
+	bi := core.NewBatcher(rt)
+	fb := core.BatchAdd(bi, target, cfEcho.Bind(51))
+	if v, err := core.Sync(rt, target, cfEcho.Bind(52)); err != nil || v != 52 {
+		t.Errorf("batch: plain sync among queued batch = %d, %v", v, err)
+	}
+	bi.FlushAll()
+	if v, err := fb.Get(); err != nil || v != 51 {
+		t.Errorf("batch: queued future around plain sync = %d, %v", v, err)
+	}
+
+	// --- validation ---------------------------------------------------------------
+	if _, err := core.BatchAdd(bi, rt.ThisNode(), cfEcho.Bind(1)).Get(); err == nil {
+		t.Errorf("batch: offload to self accepted")
+	}
+	if _, err := core.BatchAdd(bi, core.NodeID(rt.NumNodes()+5), cfEcho.Bind(1)).Get(); err == nil {
+		t.Errorf("batch: offload to missing node accepted")
+	}
+}
+
+// ExerciseBatchRetry pins the interaction of batching with fault tolerance:
+// under an armed injector (fed through the backend or the machine substrate)
+// and a retry policy on rt, every message of every batch frame executes
+// exactly once — a retransmitted frame's sub-envelopes land in the target's
+// dedup window, which answers them from cache instead of re-executing. The
+// effectful bump counter makes any violation visible: n batched bumps must
+// leave the counter at exactly n and return a permutation of 1..n. It must
+// run in the host's execution context with rt's retry policy armed; inj may
+// be nil when the caller cannot observe the injector directly.
+func ExerciseBatchRetry(t Reporter, rt *core.Runtime, target core.NodeID, inj *faults.Injector) {
+	saved := rt.Batching()
+	defer rt.SetBatching(saved)
+	rt.SetBatching(core.BatchPolicy{MaxMessages: 4})
+
+	buf, err := core.Allocate[int64](rt, target, 1)
+	if err != nil {
+		t.Errorf("batch-retry: Allocate: %v", err)
+		return
+	}
+	defer func() { _ = core.Free(rt, buf) }()
+	if err := core.Put(rt, []int64{0}, buf); err != nil {
+		t.Errorf("batch-retry: Put: %v", err)
+		return
+	}
+
+	const n = 20
+	fns := make([]core.Functor[int64], n)
+	for i := range fns {
+		fns[i] = cfBump.Bind(buf)
+	}
+	seen := make([]bool, n+1)
+	for i, f := range core.AsyncBatch(rt, target, fns) {
+		v, err := f.Get()
+		if err != nil {
+			t.Errorf("batch-retry: bump %d under injection = %v", i, err)
+			return
+		}
+		// Retried frames may execute after later frames, so the values are a
+		// permutation of 1..n, not necessarily in submission order.
+		if v < 1 || v > n || seen[v] {
+			t.Errorf("batch-retry: bump %d returned %d — duplicate or out-of-range execution", i, v)
+			return
+		}
+		seen[v] = true
+	}
+	final := make([]int64, 1)
+	if err := core.Get(rt, buf, final); err != nil {
+		t.Errorf("batch-retry: Get: %v", err)
+		return
+	}
+	if final[0] != n {
+		t.Errorf("batch-retry: counter = %d after %d batched bumps (want exactly %d)", final[0], n, n)
+	}
+	if inj != nil && inj.Injected() == 0 {
+		t.Errorf("batch-retry: injector armed but nothing fired")
 	}
 }
 

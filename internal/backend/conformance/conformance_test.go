@@ -121,6 +121,175 @@ func TestClusterConformance(t *testing.T) {
 	}
 }
 
+// TestBatchConformanceLoopback runs the batching contract against the
+// in-process backend.
+func TestBatchConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewRuntime(tb, "conf-loc-target")
+	host := core.NewRuntime(hb, "conf-loc-host")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseBatch(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestBatchConformanceTCP runs the batching contract over real sockets.
+func TestBatchConformanceTCP(t *testing.T) {
+	tgt, err := tcpb.Listen("127.0.0.1:0", 1, 2, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetRT := core.NewRuntime(tgt, "conf-tcp-target")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := targetRT.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	hb, err := tcpb.Dial([]string{tgt.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := core.NewRuntime(hb, "conf-tcp-host")
+	conformance.ExerciseBatch(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestBatchConformanceSimulated runs the batching contract on both SX-Aurora
+// protocols.
+func TestBatchConformanceSimulated(t *testing.T) {
+	for name, connect := range map[string]func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error){
+		"veo": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		},
+		"dma": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := machine.New(machine.Config{VEs: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseBatch(t, rt, 1)
+				conformance.ExerciseBatch(t, rt, 2)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBatchConformanceCluster runs the batching contract on the InfiniBand
+// cluster backend, against both the local and the remote VE.
+func TestBatchConformanceCluster(t *testing.T) {
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseBatch(t, rt, 1) // local VE
+		conformance.ExerciseBatch(t, rt, 2) // remote VE
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchRetryConformanceLoopback pins batching against fault tolerance on
+// the in-process backend: injected send faults force whole-frame
+// retransmissions, and the dedup window must keep every batched message
+// at-most-once.
+func TestBatchRetryConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(&faults.Plan{Seed: 42, Rules: []faults.Rule{
+		{Kind: faults.DMAError, Site: faults.SiteConn, Node: 1, AfterOp: 2, Every: 3, Count: 4},
+	}})
+	hb.SetFaultInjector(inj)
+	target := core.NewRuntime(tb, "conf-loc-target")
+	host := core.NewRuntime(hb, "conf-loc-host")
+	host.SetFaultTolerance(ftPolicy())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseBatchRetry(t, host, 1, inj)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestBatchRetryConformanceSimulated pins batching against fault tolerance
+// on the DMA protocol, where injected user-DMA errors and VEOS stalls hit
+// frames mid-flight and timed-out frames are retransmitted after the target
+// may already have executed them — the dedup window must answer those from
+// cache.
+func TestBatchRetryConformanceSimulated(t *testing.T) {
+	plan := &faults.Plan{Seed: 7, Rules: []faults.Rule{
+		{Kind: faults.Stall, Site: faults.SiteVEOS, Node: 0,
+			AfterOp: 2, Every: 2, Count: 4, StallFor: 2 * machine.Microsecond},
+		{Kind: faults.DMAError, Site: faults.SiteUserDMA, Node: 0,
+			AfterOp: 6, Every: 4, Count: 3},
+	}}
+	m, err := machine.New(machine.Config{VEs: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectDMA(p, m, machine.ProtocolOptions{
+			OffloadTimeout: 10 * machine.Millisecond, Retry: ftPolicy(),
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseBatchRetry(t, rt, 1, m.Timing.Faults)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestErrorsConformanceLoopback pins error propagation on the in-process
 // backend.
 func TestErrorsConformanceLoopback(t *testing.T) {

@@ -486,6 +486,19 @@ func (h *Host) ChargeScalar(ops int64) {
 // the host process's simulated clock.
 func (h *Host) Backoff(d simtime.Duration) { h.p.Sleep(d) }
 
+// MaxMessageLen implements core.MessageSizer: a wire message must fit one
+// message buffer and its length must be publishable in a slot flag word.
+func (h *Host) MaxMessageLen() int {
+	if h.opts.BufSize < slots.MaxLen {
+		return h.opts.BufSize
+	}
+	return slots.MaxLen
+}
+
+// SimNow exposes the initiator's simulated clock for deadline-driven batch
+// flushes (core's simClock surface).
+func (h *Host) SimNow() simtime.Time { return h.p.Now() }
+
 // RecoverNode implements core.Recoverer: it reaps the dead VE process,
 // removes the old shared-memory segment, and re-runs the §IV-A setup —
 // fresh process, shm segment, DMAATB registration, ham_main. Outstanding

@@ -121,6 +121,12 @@ func (b *Node) SetFaultInjector(inj *faults.Injector) { b.inj = inj }
 // RecoverNode.
 func (b *Node) Kill(n core.NodeID) { b.life.kill(n) }
 
+// MaxMessageLen implements core.MessageSizer. The in-process channels have
+// no framing limit of their own; the bound keeps batch frames within what
+// any slot-protocol backend could also carry, so applications tested on
+// loopback do not silently depend on unbounded messages.
+func (b *Node) MaxMessageLen() int { return 1 << 20 }
+
 // RecoverNode implements core.Recoverer: it revives a killed node and drains
 // stale requests from its inbox. The application must restart the node's
 // Serve loop afterwards (in-process, the "machine" is a goroutine).

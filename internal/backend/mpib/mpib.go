@@ -348,6 +348,15 @@ func (h *Host) ChargeScalar(ops int64) {
 // the initiator's simulated clock.
 func (h *Host) Backoff(d simtime.Duration) { h.p.Sleep(d) }
 
+// MaxMessageLen implements core.MessageSizer. Local and proxied targets
+// both terminate in a DMA-protocol connection, so its slot limit governs
+// the whole cluster.
+func (h *Host) MaxMessageLen() int { return h.local.MaxMessageLen() }
+
+// SimNow exposes the initiator's simulated clock for deadline-driven batch
+// flushes (core's simClock surface).
+func (h *Host) SimNow() simtime.Time { return h.p.Now() }
+
 // RecoverNode implements core.Recoverer for machine 0's VEs by delegating to
 // the local DMA-protocol connection. Remote recovery would need a proxy-side
 // control message; until then it reports the limitation explicitly.

@@ -1,0 +1,112 @@
+package slots
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// FuzzFlagRoundTrip drives the flag encoding with arbitrary sequence
+// numbers and lengths: every in-range pair must round-trip, never produce
+// the invalid zero word, and never decode under a different sequence
+// number. This is the invariant both protocols' ring paths lean on when a
+// slot is reused (§III-D "invalid value to an index", hardened).
+func FuzzFlagRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(0), uint32(MaxLen))
+	f.Add(uint32(1), uint32(1))
+	f.Add(^uint32(0), uint32(MaxLen))  // seq about to wrap, max payload
+	f.Add(^uint32(0)-1, uint32(0))     // near-wrap, empty payload
+	f.Add(uint32(1)<<31, uint32(4096)) // high seq bit set
+	f.Fuzz(func(t *testing.T, seq, rawLen uint32) {
+		length := int(rawLen % (MaxLen + 1))
+		flag := Encode(seq, length)
+		if flag == 0 {
+			t.Fatalf("Encode(%d, %d) produced the invalid zero word", seq, length)
+		}
+		got, ok := Decode(flag, seq)
+		if !ok || got != length {
+			t.Fatalf("Decode(Encode(%d, %d)) = %d, %v", seq, length, got, ok)
+		}
+		// A reader waiting for any other sequence number must keep waiting:
+		// the slot's previous or next generation never masquerades as ours.
+		for _, other := range []uint32{seq + 1, seq - 1, ^seq} {
+			if other == seq {
+				continue
+			}
+			if l, ok := Decode(flag, other); ok {
+				t.Fatalf("flag for seq %d decoded under seq %d (len %d)", seq, other, l)
+			}
+		}
+	})
+}
+
+// TestSeqWraparound pins the slot-reuse story at the uint32 boundary: the
+// generations ...fffe, ...ffff, 0, 1 of one slot all carry distinct flags
+// and each decodes only under its own sequence number.
+func TestSeqWraparound(t *testing.T) {
+	seqs := []uint32{^uint32(0) - 1, ^uint32(0), 0, 1}
+	flags := make([]uint64, len(seqs))
+	for i, s := range seqs {
+		flags[i] = Encode(s, 64)
+	}
+	for i, f := range flags {
+		for j, s := range seqs {
+			l, ok := Decode(f, s)
+			if i == j && (!ok || l != 64) {
+				t.Errorf("seq %d: own flag failed to decode (%d, %v)", s, l, ok)
+			}
+			if i != j && ok {
+				t.Errorf("flag of seq %d decoded under seq %d", seqs[i], s)
+			}
+		}
+	}
+}
+
+// TestLengthEdges pins the boundaries of the 24-bit length field.
+func TestLengthEdges(t *testing.T) {
+	for _, seq := range []uint32{0, 7, ^uint32(0)} {
+		for _, length := range []int{0, 1, MaxLen - 1, MaxLen} {
+			flag := Encode(seq, length)
+			if flag == 0 {
+				t.Fatalf("Encode(%d, %d) = 0", seq, length)
+			}
+			got, ok := Decode(flag, seq)
+			if !ok || got != length {
+				t.Errorf("Decode(Encode(%d, %d)) = %d, %v", seq, length, got, ok)
+			}
+		}
+	}
+	// MaxLen is the last length whose +1 offset still fits in 24 bits
+	// without spilling into the sequence field.
+	if spill := Encode(0, MaxLen+1); uint32(spill>>24) == 0 && spill&0xffffff != 0 {
+		t.Error("MaxLen+1 unexpectedly fits — MaxLen constant is stale")
+	}
+}
+
+// TestZeroWordNeverValid: fresh (zeroed) flag memory must not decode under
+// any sequence number — that is the whole point of the +1 length offset.
+func TestZeroWordNeverValid(t *testing.T) {
+	prop := func(seq uint32) bool {
+		_, ok := Decode(0, seq)
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistinctFlags: within one slot generation window, distinct
+// (seq, length) pairs encode to distinct words, so a torn or stale read
+// can never be mistaken for a different valid message.
+func TestDistinctFlags(t *testing.T) {
+	prop := func(seqA, seqB, lenA, lenB uint32) bool {
+		la, lb := int(lenA%(MaxLen+1)), int(lenB%(MaxLen+1))
+		if seqA == seqB && la == lb {
+			return true
+		}
+		return Encode(seqA, la) != Encode(seqB, lb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

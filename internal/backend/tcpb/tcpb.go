@@ -306,6 +306,10 @@ func (h *Host) DropConn(target core.NodeID) error {
 	return hc.c.Close()
 }
 
+// MaxMessageLen implements core.MessageSizer: the frame header carries a
+// u32 payload length; 1 GiB keeps well clear of it on every platform.
+func (h *Host) MaxMessageLen() int { return 1 << 30 }
+
 // Wait implements core.Backend.
 func (h *Host) Wait(hh core.Handle) ([]byte, error) {
 	hd, ok := hh.(*handle)

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hamoffload/internal/ham"
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
+)
+
+// Message batching: the fixed per-message overhead of the SX-Aurora
+// protocols (flag write, DMA setup, target poll — the bulk of the 6 µs
+// Fig. 9 cost) is paid once per wire message, so N small offloads bound
+// for the same node can amortise it by travelling as one frame:
+//
+//	[u32 magic][u32 count]  then per message  [u32 len][bytes]
+//
+// The response comes back in the same framing, one entry per request, in
+// request order. Each entry is an ordinary HAM message (or, with fault
+// tolerance armed, an FT envelope around one), so per-message error
+// isolation, checksums and the target's dedup window all keep working
+// unchanged inside a batch — the target simply dispatches the entries
+// through the normal path one by one.
+//
+// Batching is strictly opt-in per runtime (SetBatching); with the zero
+// policy every offload travels exactly as before, bit-identical on the
+// wire. Like the FT envelope, frame detection on the target relies on the
+// magic being far above any plain HAM handler key.
+
+const (
+	batMagic  uint32 = 0xBA7C41ED
+	batHeader        = 4 + 4 // magic + count
+	batPerMsg        = 4     // per-entry length prefix
+)
+
+// sealBatch frames msgs into one batch wire message.
+func sealBatch(msgs [][]byte) []byte {
+	n := batHeader
+	for _, m := range msgs {
+		n += batPerMsg + len(m)
+	}
+	out := make([]byte, batHeader, n)
+	binary.LittleEndian.PutUint32(out[0:4], batMagic)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(msgs)))
+	for _, m := range msgs {
+		var l [batPerMsg]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(m)))
+		out = append(out, l[:]...)
+		out = append(out, m...)
+	}
+	return out
+}
+
+// openBatch undoes sealBatch. isBatch is false when msg does not carry the
+// magic (a plain HAM message or FT envelope). A magic match with broken
+// framing — truncated entry, trailing bytes, absurd count — returns
+// isBatch = true and an ErrPayloadCorrupt error.
+func openBatch(msg []byte) (msgs [][]byte, isBatch bool, err error) {
+	if len(msg) < batHeader || binary.LittleEndian.Uint32(msg[0:4]) != batMagic {
+		return nil, false, nil
+	}
+	count := int(binary.LittleEndian.Uint32(msg[4:8]))
+	rest := msg[batHeader:]
+	if count <= 0 || count > len(rest) {
+		return nil, true, fmt.Errorf("%w: batch frame count %d for %d payload bytes",
+			ErrPayloadCorrupt, count, len(rest))
+	}
+	msgs = make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < batPerMsg {
+			return nil, true, fmt.Errorf("%w: batch entry %d truncated", ErrPayloadCorrupt, i)
+		}
+		l := int(binary.LittleEndian.Uint32(rest[:batPerMsg]))
+		rest = rest[batPerMsg:]
+		if l < 0 || l > len(rest) {
+			return nil, true, fmt.Errorf("%w: batch entry %d claims %d of %d bytes",
+				ErrPayloadCorrupt, i, l, len(rest))
+		}
+		msgs = append(msgs, rest[:l])
+		rest = rest[l:]
+	}
+	if len(rest) != 0 {
+		return nil, true, fmt.Errorf("%w: %d trailing bytes after batch", ErrPayloadCorrupt, len(rest))
+	}
+	return msgs, true, nil
+}
+
+// BatchPolicy drives when a Batcher flushes a node's queue. The zero value
+// disables batching entirely: BatchAdd degrades to a plain Async and the
+// wire bytes stay bit-identical to the unbatched protocol.
+//
+// With any field set, messages queue per node and a frame ships when the
+// queue reaches MaxMessages entries (default 16), when its wire size would
+// exceed MaxBytes (default: the backend's message-size limit), or — on
+// backends with a simulated clock — when an Add or Flush observes that the
+// oldest queued message has waited MaxDelay (0 = no deadline). The runtime
+// has no timer of its own, so the deadline is checked lazily at those
+// points; an idle queue still requires an explicit Flush/FlushAll or a
+// blocking Future.Get, which always forces its own frame out.
+type BatchPolicy struct {
+	MaxMessages int
+	MaxBytes    int
+	MaxDelay    simtime.Duration
+}
+
+// Enabled reports whether the policy arms batching at all.
+func (p BatchPolicy) Enabled() bool {
+	return p.MaxMessages > 0 || p.MaxBytes > 0 || p.MaxDelay > 0
+}
+
+// messages returns the effective count threshold.
+func (p BatchPolicy) messages() int {
+	if p.MaxMessages > 0 {
+		return p.MaxMessages
+	}
+	return 16
+}
+
+// SetBatching installs the batching policy on the initiating runtime.
+// Call it before issuing offloads, alongside SetFaultTolerance.
+func (rt *Runtime) SetBatching(p BatchPolicy) { rt.batch = p }
+
+// Batching returns the runtime's batching policy.
+func (rt *Runtime) Batching() BatchPolicy { return rt.batch }
+
+// MessageSizer is implemented by backends with a bounded wire-message size
+// (the slot protocols cap messages at min(BufSize, slots.MaxLen)); the
+// batcher uses it to split frames so batch-aware length accounting never
+// exceeds what a flag word can publish.
+type MessageSizer interface {
+	MaxMessageLen() int
+}
+
+// simClock is implemented by backends whose initiator runs on the DES
+// clock; the batcher reads it for MaxDelay-based flushes. Wall-clock
+// backends do not implement it and ignore the deadline.
+type simClock interface {
+	SimNow() simtime.Time
+}
+
+// settler is the type-erased face of *Future[T] a batch frame settles
+// results through.
+type settler interface {
+	settle(resp []byte)
+	fail(err error)
+}
+
+// Batcher queues offloads per target node and ships each queue as batch
+// frames according to the runtime's BatchPolicy. It is not safe for
+// concurrent use, matching the rest of the runtime's initiator API.
+type Batcher struct {
+	rt     *Runtime
+	queues []*batchQueue // first-use order, so FlushAll is deterministic
+}
+
+// NewBatcher creates a batcher over rt's backend and policy.
+func NewBatcher(rt *Runtime) *Batcher { return &Batcher{rt: rt} }
+
+// batchQueue accumulates one node's pending frame.
+type batchQueue struct {
+	node     NodeID
+	msgs     [][]byte       // per-message wire bytes (FT-enveloped when armed)
+	pds      []*pending     // per-message FT state, nil entries with FT off
+	sinks    []settler      // futures awaiting the frame, parallel to msgs
+	tks      []*batchTicket // tickets to rebind at flush, parallel to msgs
+	bytes    int            // wire size of the frame so far
+	firstAdd simtime.Time   // clock at first queued message (deadline basis)
+	timed    bool           // firstAdd is valid
+}
+
+func (q *batchQueue) reset() {
+	q.msgs, q.pds, q.sinks, q.tks = nil, nil, nil, nil
+	q.bytes = batHeader
+	q.timed = false
+}
+
+// queue returns (creating if needed) the queue for node.
+func (b *Batcher) queue(node NodeID) *batchQueue {
+	for _, q := range b.queues {
+		if q.node == node {
+			return q
+		}
+	}
+	q := &batchQueue{node: node, bytes: batHeader}
+	b.queues = append(b.queues, q)
+	return q
+}
+
+// frameCap returns the largest frame the policy and backend permit.
+func (b *Batcher) frameCap() int {
+	limit := int(^uint(0) >> 1) // effectively unbounded
+	if ms, ok := b.rt.backend.(MessageSizer); ok {
+		limit = ms.MaxMessageLen()
+	}
+	if mb := b.rt.batch.MaxBytes; mb > 0 && mb < limit {
+		limit = mb
+	}
+	return limit
+}
+
+// Pending returns how many messages are queued for node, for tests and
+// introspection.
+func (b *Batcher) Pending(node NodeID) int {
+	for _, q := range b.queues {
+		if q.node == node {
+			return len(q.msgs)
+		}
+	}
+	return 0
+}
+
+// Flush ships node's queued messages now, if any.
+func (b *Batcher) Flush(node NodeID) {
+	for _, q := range b.queues {
+		if q.node == node {
+			b.flushQueue(q)
+			return
+		}
+	}
+}
+
+// FlushAll ships every node's queued messages, in first-use node order.
+func (b *Batcher) FlushAll() {
+	for _, q := range b.queues {
+		b.flushQueue(q)
+	}
+}
+
+// deadlineDue reports whether q's oldest message has outwaited MaxDelay.
+func (b *Batcher) deadlineDue(q *batchQueue) bool {
+	d := b.rt.batch.MaxDelay
+	if d <= 0 || !q.timed {
+		return false
+	}
+	clk, ok := b.rt.backend.(simClock)
+	return ok && clk.SimNow().Sub(q.firstAdd) >= d
+}
+
+// BatchAdd queues fn for node on b and returns its future. The frame ships
+// when the policy says so, on an explicit Flush/FlushAll, or when one of
+// the frame's futures blocks in Get. With batching disabled it is exactly
+// Async. (A package-level function because Go methods cannot introduce the
+// result type parameter.)
+func BatchAdd[R any](b *Batcher, node NodeID, fn Functor[R]) *Future[R] {
+	rt := b.rt
+	if !rt.batch.Enabled() {
+		return Async(rt, node, fn)
+	}
+	_, endOff := rt.beginOffload(fn.name)
+	failed := func(err error) *Future[R] {
+		f := &Future[R]{rt: rt, onDone: endOff}
+		f.fail(err)
+		return f
+	}
+	if node == rt.ThisNode() {
+		return failed(fmt.Errorf("core: offload to self (node %d) is not supported", node))
+	}
+	if int(node) < 0 || int(node) >= rt.NumNodes() {
+		return failed(fmt.Errorf("core: no node %d in this application (%d nodes)", node, rt.NumNodes()))
+	}
+	endEnc := rt.tr.Begin(trace.PhaseEncode, "encode "+fn.name, rt.offloads+1)
+	msg, err := rt.bin.EncodeRequest(fn.name, fn.payload)
+	endEnc()
+	if err != nil {
+		return failed(err)
+	}
+	rt.offloads++
+	wire, pd := rt.seal(node, msg)
+
+	q := b.queue(node)
+	// Length accounting against the frame cap: ship the current frame first
+	// if this message would overflow it. A message too large for any frame
+	// still goes out (as a batch of one) and draws the backend's own
+	// size error, like an unbatched oversized Call would.
+	if len(q.msgs) > 0 && q.bytes+batPerMsg+len(wire) > b.frameCap() {
+		b.flushQueue(q)
+	}
+	if b.deadlineDue(q) {
+		b.flushQueue(q)
+	}
+	tk := &batchTicket{b: b, q: q}
+	f := &Future[R]{rt: rt, decode: fn.decode, onDone: endOff, bt: tk}
+	if !q.timed {
+		if clk, ok := rt.backend.(simClock); ok {
+			q.firstAdd, q.timed = clk.SimNow(), true
+		}
+	}
+	q.msgs = append(q.msgs, wire)
+	q.pds = append(q.pds, pd)
+	q.sinks = append(q.sinks, f)
+	q.tks = append(q.tks, tk)
+	q.bytes += batPerMsg + len(wire)
+	if len(q.msgs) >= rt.batch.messages() || q.bytes >= b.frameCap() {
+		b.flushQueue(q)
+	}
+	return f
+}
+
+// AsyncBatch offloads fns to node as batch frames under rt's policy and
+// returns the futures in submission order — the bulk analogue of Async.
+// With batching disabled each functor goes out individually.
+func AsyncBatch[R any](rt *Runtime, node NodeID, fns []Functor[R]) []*Future[R] {
+	b := NewBatcher(rt)
+	futs := make([]*Future[R], len(fns))
+	for i, fn := range fns {
+		futs[i] = BatchAdd(b, node, fn)
+	}
+	b.FlushAll()
+	return futs
+}
+
+// flushQueue seals q's contents into one frame, posts it, and rebinds the
+// queued futures to the in-flight batchCall.
+func (b *Batcher) flushQueue(q *batchQueue) {
+	if len(q.msgs) == 0 {
+		return
+	}
+	rt := b.rt
+	frame := sealBatch(q.msgs)
+	endBatch := rt.tr.Begin(trace.PhaseBatch,
+		fmt.Sprintf("batch flush node %d x%d", q.node, len(q.msgs)), rt.offloads)
+	rt.tr.Count("batch.flushes", 1)
+	rt.tr.Count("batch.messages", int64(len(q.msgs)))
+	var fpd *pending
+	if rt.ft.enabled() {
+		// The frame retransmits as a unit; the sub-envelopes' sequence
+		// numbers make re-execution safe, so the frame reuses the first
+		// entry's seq for bookkeeping and trace labels.
+		fpd = &pending{node: q.node, msg: frame, seq: q.pds[0].seq}
+	}
+	bc := &batchCall{rt: rt, fpd: fpd, pds: q.pds, sinks: q.sinks}
+	h, err := rt.backend.Call(q.node, frame)
+	if err != nil && rt.canRetry(fpd, err) {
+		h, err = rt.resubmit(fpd)
+	}
+	endBatch()
+	for _, tk := range q.tks {
+		tk.bc, tk.q = bc, nil
+	}
+	q.reset()
+	if err != nil {
+		bc.failAll(err)
+		return
+	}
+	bc.h = h
+}
+
+// batchTicket links one future to its frame: before the flush it points at
+// the queue (so a blocking Get can force the frame out), afterwards at the
+// in-flight batchCall.
+type batchTicket struct {
+	b  *Batcher
+	q  *batchQueue
+	bc *batchCall
+}
+
+func (tk *batchTicket) ensureFlushed() {
+	if tk.bc == nil {
+		tk.b.flushQueue(tk.q)
+	}
+}
+
+// batchCall is one in-flight batch frame: the shared resolution state of
+// all its futures. The whole frame retries as a unit under the runtime's
+// fault-tolerance policy; the target answers retransmitted entries from
+// its dedup window, so handlers still run at most once.
+type batchCall struct {
+	rt    *Runtime
+	h     Handle
+	fpd   *pending   // frame retransmission state, nil with FT off
+	pds   []*pending // per-entry envelope state, nil entries with FT off
+	sinks []settler
+	done  bool
+}
+
+// resolve blocks until the frame completes and settles every future.
+func (bc *batchCall) resolve() {
+	if bc.done {
+		return
+	}
+	for {
+		resp, err := bc.rt.backend.Wait(bc.h)
+		if err == nil {
+			err = bc.deliver(resp)
+			if err == nil {
+				return
+			}
+		}
+		if !bc.rt.canRetry(bc.fpd, err) {
+			bc.rt.noteTimeout(err)
+			bc.failAll(err)
+			return
+		}
+		h, rerr := bc.rt.resubmit(bc.fpd)
+		if rerr != nil {
+			bc.failAll(rerr)
+			return
+		}
+		bc.h = h
+	}
+}
+
+// poll is the non-blocking variant of resolve, for Future.Test.
+func (bc *batchCall) poll() {
+	if bc.done {
+		return
+	}
+	resp, done, err := bc.rt.backend.Poll(bc.h)
+	if err == nil && !done {
+		return
+	}
+	if err == nil {
+		if err = bc.deliver(resp); err == nil {
+			return
+		}
+	}
+	if bc.rt.canRetry(bc.fpd, err) {
+		h, rerr := bc.rt.resubmit(bc.fpd)
+		if rerr == nil {
+			bc.h = h
+			return
+		}
+		err = rerr
+	}
+	bc.rt.noteTimeout(err)
+	bc.failAll(err)
+}
+
+// deliver splits the batch response and settles the futures. A non-nil
+// return means the frame must be treated as failed (and possibly retried):
+// the response was not batch-framed under FT, the entry count is off, or
+// an entry failed envelope validation.
+func (bc *batchCall) deliver(resp []byte) error {
+	subs, isBatch, err := openBatch(resp)
+	if !isBatch {
+		if bc.fpd != nil {
+			return fmt.Errorf("%w: batch response not framed", ErrPayloadCorrupt)
+		}
+		// Without FT nothing retries: surface whatever the target said —
+		// typically its failure response to a frame it could not parse —
+		// through every future.
+		for _, s := range bc.sinks {
+			s.settle(resp)
+		}
+		bc.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(subs) != len(bc.sinks) {
+		return fmt.Errorf("%w: batch response carries %d entries, want %d",
+			ErrPayloadCorrupt, len(subs), len(bc.sinks))
+	}
+	// Validate every entry before settling any, so a single corrupt entry
+	// retries the frame instead of splitting it into settled and lost
+	// halves. The dedup window answers the already-executed entries.
+	payloads := make([][]byte, len(subs))
+	for i, sub := range subs {
+		p, err := bc.rt.openResponse(bc.pds[i], sub)
+		if err != nil {
+			return err
+		}
+		payloads[i] = p
+	}
+	for i, s := range bc.sinks {
+		s.settle(payloads[i])
+	}
+	bc.done = true
+	return nil
+}
+
+// failAll fails every unsettled future with err.
+func (bc *batchCall) failAll(err error) {
+	for _, s := range bc.sinks {
+		s.fail(err)
+	}
+	bc.done = true
+}
+
+// dispatchBatch executes one batch frame on the target: every entry runs
+// through the normal Dispatch path (FT validation, dedup, handler), so
+// errors stay isolated per entry, and the responses return as one frame.
+// A frame with broken framing draws a plain failure response.
+func (rt *Runtime) dispatchBatch(subs [][]byte, berr error) []byte {
+	if berr != nil {
+		rt.tr.Instant(trace.PhaseFault, "corrupt batch frame", rt.executed)
+		rt.tr.Count("dispatch.batch.corrupt", 1)
+		return ham.EncodeFailure(berr.Error())
+	}
+	end := rt.tr.Begin(trace.PhaseBatch, fmt.Sprintf("batch x%d", len(subs)), rt.executed+1)
+	rt.tr.Count("dispatch.batches", 1)
+	resps := make([][]byte, len(subs))
+	for i, m := range subs {
+		resps[i] = rt.Dispatch(m)
+	}
+	end()
+	return sealBatch(resps)
+}

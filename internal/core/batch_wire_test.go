@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// White-box tests of the batch frame encoding (sealBatch/openBatch): the
+// exact analogue of the FT envelope tests one layer down — nothing that is
+// not a frame may parse as one, and every broken frame must surface as
+// ErrPayloadCorrupt rather than mis-split.
+
+func TestBatchWireRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{{1, 2, 3}},
+		{{}, {0xff}, make([]byte, 300)},
+		{bytes.Repeat([]byte{7}, 1), bytes.Repeat([]byte{8}, 2), bytes.Repeat([]byte{9}, 3)},
+	}
+	for _, msgs := range cases {
+		frame := sealBatch(msgs)
+		got, isBatch, err := openBatch(frame)
+		if !isBatch || err != nil {
+			t.Fatalf("openBatch(seal(%d msgs)) = batch %v, %v", len(msgs), isBatch, err)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("round trip count = %d, want %d", len(got), len(msgs))
+		}
+		for i := range msgs {
+			if !bytes.Equal(got[i], msgs[i]) {
+				t.Fatalf("entry %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestBatchWireRoundTripProperty(t *testing.T) {
+	prop := func(raw [][]byte) bool {
+		if len(raw) == 0 {
+			return true // sealBatch is never called on an empty queue
+		}
+		got, isBatch, err := openBatch(sealBatch(raw))
+		if !isBatch || err != nil || len(got) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if !bytes.Equal(got[i], raw[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchWireRejectsNonFrames(t *testing.T) {
+	for _, msg := range [][]byte{
+		nil,
+		{},
+		{1, 2, 3},
+		binary.LittleEndian.AppendUint32(nil, batMagic), // magic alone, too short
+		make([]byte, 64), // zeroes
+	} {
+		if _, isBatch, err := openBatch(msg); isBatch || err != nil {
+			t.Errorf("openBatch(%d bytes) = batch %v, %v — plain messages must pass through",
+				len(msg), isBatch, err)
+		}
+	}
+}
+
+func TestBatchWireCorruption(t *testing.T) {
+	base := sealBatch([][]byte{{1, 2, 3}, {4, 5}})
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), base...))
+	}
+	for name, frame := range map[string][]byte{
+		"zero count": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 0)
+			return b
+		}),
+		"absurd count": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 1<<30)
+			return b
+		}),
+		"count beyond entries": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 3)
+			return b
+		}),
+		"truncated entry": base[:len(base)-1],
+		"trailing bytes":  append(append([]byte(nil), base...), 0xEE),
+		"entry length overruns": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[batHeader:batHeader+4], 1<<20)
+			return b
+		}),
+	} {
+		_, isBatch, err := openBatch(frame)
+		if !isBatch {
+			t.Errorf("%s: not recognised as a (broken) frame", name)
+			continue
+		}
+		if !errors.Is(err, ErrPayloadCorrupt) {
+			t.Errorf("%s: err = %v, want ErrPayloadCorrupt", name, err)
+		}
+	}
+}

@@ -113,6 +113,10 @@ type Runtime struct {
 	dedup    *respCache
 	retries  int64
 	timeouts int64
+
+	// Message batching (see batch.go). The zero policy is off: every
+	// offload travels as its own wire message, bit-identical to before.
+	batch BatchPolicy
 }
 
 // NewRuntime creates the runtime for one node. arch labels this node's
@@ -168,7 +172,13 @@ func (rt *Runtime) Executed() int64 { return rt.executed }
 // touching the handler, and a retransmitted sequence number is answered
 // from the dedup window — the handler runs at most once per offload no
 // matter how often the initiator had to retry.
+//
+// Batch frames (see batch.go) unpack here too: each entry re-enters
+// Dispatch individually, so enveloping and dedup compose with batching.
 func (rt *Runtime) Dispatch(msg []byte) []byte {
+	if subs, isBatch, berr := openBatch(msg); isBatch {
+		return rt.dispatchBatch(subs, berr)
+	}
 	_, seq, payload, enveloped, cerr := openMessage(msg)
 	if !enveloped {
 		return rt.dispatchRaw(msg)

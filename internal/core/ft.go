@@ -46,6 +46,9 @@ type Recoverer interface {
 // Call it before issuing offloads.
 func (rt *Runtime) SetFaultTolerance(ft FaultTolerance) { rt.ft = ft }
 
+// FaultTolerancePolicy returns the installed retry policy.
+func (rt *Runtime) FaultTolerancePolicy() FaultTolerance { return rt.ft }
+
 // Retries returns how many transient-failure retries this runtime has
 // performed.
 func (rt *Runtime) Retries() int64 { return rt.retries }

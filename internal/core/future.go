@@ -11,6 +11,11 @@ type Future[T any] struct {
 	pd     *pending // fault-tolerance retransmission state, nil with FT off
 	decode func(*ham.Decoder) (T, error)
 
+	// bt, when set, marks this future as one entry of a batch frame (see
+	// batch.go): resolution goes through the shared batchCall instead of a
+	// private backend handle.
+	bt *batchTicket
+
 	// onDone, when set, fires exactly once as the future settles or fails;
 	// the runtime uses it to close the offload lifecycle span.
 	onDone func()
@@ -26,6 +31,13 @@ type Future[T any] struct {
 func (f *Future[T]) Test() bool {
 	if f.done {
 		return true
+	}
+	if f.bt != nil {
+		// A still-queued frame cannot complete on its own; force it out so
+		// polling makes progress, then poll the shared call.
+		f.bt.ensureFlushed()
+		f.bt.bc.poll()
+		return f.done
 	}
 	resp, h, done, err := f.rt.pollResolved(f.h, f.pd)
 	f.h = h
@@ -45,6 +57,11 @@ func (f *Future[T]) Get() (T, error) {
 	if f.done {
 		return f.val, f.err
 	}
+	if f.bt != nil {
+		f.bt.ensureFlushed()
+		f.bt.bc.resolve()
+		return f.val, f.err
+	}
 	resp, err := f.rt.resolve(f.h, f.pd)
 	if err != nil {
 		f.fail(err)
@@ -52,6 +69,23 @@ func (f *Future[T]) Get() (T, error) {
 	}
 	f.settle(resp)
 	return f.val, f.err
+}
+
+// OnSettle registers fn to run once when the future completes, after any
+// result decoding; a future that already completed runs it immediately.
+// The cluster scheduler uses it for in-flight accounting.
+func (f *Future[T]) OnSettle(fn func()) {
+	if f.done {
+		fn()
+		return
+	}
+	prev := f.onDone
+	f.onDone = func() {
+		if prev != nil {
+			prev()
+		}
+		fn()
+	}
 }
 
 // MustGet is Get for cases where a remote failure is a programming error.
@@ -64,12 +98,18 @@ func (f *Future[T]) MustGet() T {
 }
 
 func (f *Future[T]) fail(err error) {
+	if f.done {
+		return
+	}
 	f.done = true
 	f.err = err
 	f.fireDone()
 }
 
 func (f *Future[T]) settle(resp []byte) {
+	if f.done {
+		return
+	}
 	f.done = true
 	dec, err := ham.DecodeResponse(resp)
 	if err != nil {

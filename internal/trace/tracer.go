@@ -46,6 +46,10 @@ const (
 	PhaseRetry Phase = "retry"
 	// PhaseTimeout marks an offload exceeding its timeout (instant event).
 	PhaseTimeout Phase = "timeout"
+	// PhaseBatch covers a batch frame: the initiator-side flush that ships
+	// N coalesced messages in one backend call, and the target-side loop
+	// that executes them back to back.
+	PhaseBatch Phase = "batch"
 )
 
 // NodeInfra marks spans recorded by shared infrastructure (DMA engines, VEO

@@ -62,6 +62,26 @@ func (c *Cluster) RunMain(fn func(p *Proc) error) error {
 // Now returns the cluster's simulated clock.
 func (c *Cluster) Now() Duration { return Duration(c.Eng.Now()) }
 
+// VENodes returns the application node ids of every VE in the cluster —
+// machine-major, 1..N, matching ConnectCluster's numbering — the natural
+// node set for a cluster-wide sched.Scheduler. veLimit mirrors
+// ProtocolOptions.VEs: it caps the VEs counted per machine (<= 0 = all).
+func (c *Cluster) VENodes(veLimit int) []core.NodeID {
+	var nodes []core.NodeID
+	next := core.NodeID(1)
+	for _, m := range c.Nodes {
+		n := len(m.Cards)
+		if veLimit > 0 && veLimit < n {
+			n = veLimit
+		}
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, next)
+			next++
+		}
+	}
+	return nodes
+}
+
 // ConnectCluster sets up HAM-Offload across the whole cluster: machine 0's
 // VH is node 0; every machine's VEs follow machine-major as nodes 1..N.
 // Local VEs use the DMA protocol directly; remote VEs are reached over
@@ -86,5 +106,6 @@ func ConnectCluster(p *Proc, c *Cluster, opts ProtocolOptions) (*core.Runtime, e
 	rt := core.NewRuntime(b, "x86_64-vh-cluster")
 	rt.SetTracer(c.Nodes[0].Timing.Tracer.Node(0, "mpib", p))
 	rt.SetFaultTolerance(opts.Retry)
+	rt.SetBatching(opts.Batch)
 	return rt, nil
 }

@@ -193,6 +193,12 @@ type ProtocolOptions struct {
 	// zero value disables retries and keeps the wire format bit-identical
 	// to the plain protocol; see core.FaultTolerance.
 	Retry core.FaultTolerance
+	// Batch arms message batching on the runtime: offloads queued through
+	// a Batcher (offload.AsyncBatch, sched.Map) coalesce into one wire
+	// message per node, amortising the per-message protocol cost. The zero
+	// value disables batching and keeps wire bytes bit-identical to the
+	// plain protocol; see core.BatchPolicy.
+	Batch core.BatchPolicy
 }
 
 func (o ProtocolOptions) cards(m *Machine) []*veos.Card {
@@ -218,6 +224,7 @@ func ConnectVEO(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	rt := core.NewRuntime(b, "x86_64-vh")
 	rt.SetTracer(m.Timing.Tracer.Node(0, "veob", p))
 	rt.SetFaultTolerance(opts.Retry)
+	rt.SetBatching(opts.Batch)
 	return rt, nil
 }
 
@@ -238,5 +245,6 @@ func ConnectDMA(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	rt := core.NewRuntime(b, "x86_64-vh")
 	rt.SetTracer(m.Timing.Tracer.Node(0, "dmab", p))
 	rt.SetFaultTolerance(opts.Retry)
+	rt.SetBatching(opts.Batch)
 	return rt, nil
 }
