@@ -21,6 +21,7 @@ type Stats struct {
 	MeanUS float64 `json:"mean_us"`
 	P50US  float64 `json:"p50_us"`
 	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
 }
 
 // NewStats computes Stats from raw samples.
@@ -49,6 +50,7 @@ func NewStats(samples []float64) Stats {
 		MeanUS: sum / float64(len(sorted)),
 		P50US:  rank(0.50),
 		P99US:  rank(0.99),
+		P999US: rank(0.999),
 	}
 }
 
@@ -173,6 +175,7 @@ func CompareReports(base, cur Report, tol float64) []string {
 		}
 		check("mean", be.MeanUS, ce.MeanUS)
 		check("p99", be.P99US, ce.P99US)
+		check("p999", be.P999US, ce.P999US)
 	}
 	return bad
 }

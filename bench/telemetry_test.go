@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Determinism guard for the armed telemetry experiment: two identical runs
+// must produce byte-identical renders, Chrome flow exports and folded
+// flamegraph stacks, and identical deterministic engine-profile fields —
+// the property CI's telemetry smoke job enforces on the full binary.
+func TestTelemetryArmedDeterministic(t *testing.T) {
+	cfg := TelemetryConfig{VEs: 2, Tasks: 8, Waves: 2}
+	type dump struct {
+		render, chrome, folded []byte
+	}
+	run := func() (TelemetryResult, dump) {
+		res, err := Telemetry(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d dump
+		var render, chrome, folded bytes.Buffer
+		RenderTelemetry(&render, res)
+		if err := res.Collector.ExportChromeFlows(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Collector.ExportFolded(&folded); err != nil {
+			t.Fatal(err)
+		}
+		d.render, d.chrome, d.folded = render.Bytes(), chrome.Bytes(), folded.Bytes()
+		return res, d
+	}
+	res1, d1 := run()
+	res2, d2 := run()
+	if !bytes.Equal(d1.render, d2.render) {
+		t.Error("telemetry render differs between identical runs")
+	}
+	if !bytes.Equal(d1.chrome, d2.chrome) {
+		t.Error("Chrome flow export differs between identical runs")
+	}
+	if !bytes.Equal(d1.folded, d2.folded) {
+		t.Error("folded flamegraph export differs between identical runs")
+	}
+	if res1.Engine.Events != res2.Engine.Events ||
+		res1.Engine.FinalTime != res2.Engine.FinalTime ||
+		res1.Engine.MaxQueueLen != res2.Engine.MaxQueueLen {
+		t.Errorf("deterministic engine fields differ: %+v vs %+v", res1.Engine, res2.Engine)
+	}
+	if res1.Retries != res2.Retries {
+		t.Errorf("retry counts differ: %d vs %d", res1.Retries, res2.Retries)
+	}
+	if len(d1.folded) == 0 {
+		t.Error("armed run produced no folded stacks")
+	}
+}
+
+// The engine report's deterministic fields must reproduce across separate
+// profiled runs; the wall-clock fields only have to pass their own gates.
+func TestEngineReportDeterministicFields(t *testing.T) {
+	cfg := TelemetryConfig{VEs: 2, Tasks: 8, Waves: 2}
+	r1, err := EngineProfileReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := EngineProfileReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neutralise the machine-dependent fields, then demand exact agreement.
+	r2.WallEventsPerSec = r1.WallEventsPerSec
+	r2.AllocsPerEvent = r1.AllocsPerEvent
+	if bad := CompareEngineReports(r1, r2); len(bad) != 0 {
+		t.Errorf("deterministic engine fields drifted: %v", bad)
+	}
+}

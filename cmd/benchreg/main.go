@@ -2,7 +2,8 @@
 // and batch experiments with per-operation sampling and either refreshes the
 // committed JSON baselines or verifies a fresh run against them:
 //
-//	benchreg                 rerun and (re)write BENCH_fig9.json, BENCH_batch.json
+//	benchreg                 rerun and (re)write BENCH_fig9.json, BENCH_batch.json,
+//	                         BENCH_engine.json
 //	benchreg -check          rerun and fail if any stat regresses beyond -tol
 //	benchreg -check -tol 0   demand bit-exact reproduction (simulated time is
 //	                         deterministic, so this holds on an unchanged tree)
@@ -10,6 +11,11 @@
 // In both modes it also enforces the batching design target: a 16-message
 // batch's amortised per-message empty-offload cost must stay at or below
 // half the single-message DMA-protocol cost (see docs/BATCHING.md).
+//
+// BENCH_engine.json is the DES engine's own profile over the telemetry
+// workload. Its simulated-clock fields (event count, final time, queue
+// depth) are compared exactly regardless of -tol; its wall-clock fields pass
+// through fixed sanity gates only, because they depend on the host.
 package main
 
 import (
@@ -44,6 +50,11 @@ func main() {
 	if err != nil {
 		fail("batch: %v", err)
 	}
+	fmt.Fprintln(os.Stderr, "benchreg: profiling the DES engine on the telemetry workload...")
+	engine, err := bench.EngineProfileReport(bench.TelemetryConfig{})
+	if err != nil {
+		fail("engine: %v", err)
+	}
 
 	// The design target is checked in every mode: refreshing a baseline that
 	// violates it should be just as loud as regressing against one.
@@ -68,6 +79,8 @@ func main() {
 		{filepath.Join(*dir, "BENCH_batch.json"), batch},
 	}
 
+	enginePath := filepath.Join(*dir, "BENCH_engine.json")
+
 	if !*check {
 		for _, r := range reports {
 			if err := bench.WriteReport(r.path, r.rep); err != nil {
@@ -75,6 +88,10 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, "benchreg: wrote", r.path)
 		}
+		if err := bench.WriteEngineReport(enginePath, engine); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintln(os.Stderr, "benchreg: wrote", enginePath)
 		return
 	}
 
@@ -88,6 +105,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreg:", line)
 			bad++
 		}
+	}
+	engineBase, err := bench.ReadEngineReport(enginePath)
+	if err != nil {
+		fail("no baseline %s (run benchreg without -check to create it): %v", enginePath, err)
+	}
+	for _, line := range bench.CompareEngineReports(engineBase, engine) {
+		fmt.Fprintln(os.Stderr, "benchreg:", line)
+		bad++
 	}
 	if bad > 0 {
 		fail("%d stat(s) regressed beyond tolerance", bad)

@@ -18,12 +18,19 @@
 //	hambench -exp putget              public-API data path vs Fig. 10 curves
 //	hambench -exp faults              fault-tolerance overhead on the Fig. 9 path
 //	hambench -exp batch               batched-message amortisation vs Fig. 9 baseline
+//	hambench -exp telemetry           continuous telemetry: sparklines, SLO table, causal flows
 //	hambench -exp all                 everything above
 //
 // Additional flags: -hist prints per-offload latency histograms with fig9;
 // -chrome FILE writes a Chrome/Perfetto trace of both protocols; -trace FILE
 // records the fig9/breakdown runs with full lifecycle tracing and writes the
-// spans as Chrome trace-event JSON (load in Perfetto or chrome://tracing).
+// spans as Chrome trace-event JSON (load in Perfetto or chrome://tracing);
+// -flows FILE / -folded FILE export the telemetry experiment's causal offload
+// flows as Chrome trace flow events / folded flamegraph stacks.
+//
+// The telemetry experiment prints only simulated-clock data on stdout, so two
+// runs are byte-identical (CI diffs them); the wall-clock engine profile goes
+// to stderr.
 //
 // All numbers are simulated time from the calibrated machine model, so they
 // are deterministic and reproducible.
@@ -35,12 +42,13 @@ import (
 	"os"
 
 	"hamoffload/bench"
+	"hamoffload/internal/telemetry"
 	"hamoffload/internal/trace"
 	"hamoffload/internal/units"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, batch, all)")
+	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, batch, telemetry, all)")
 	socket := flag.Int("socket", 0, "VH socket to offload from (fig9)")
 	reps := flag.Int("reps", 0, "timed repetitions per point (0 = defaults)")
 	maxSize := flag.Int64("max-size", (256 * units.MiB).Int64(), "largest transfer size for sweeps")
@@ -49,6 +57,8 @@ func main() {
 	hist := flag.Bool("hist", false, "also print per-offload latency histograms for fig9")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON of a few offloads per protocol to this file")
 	tracePath := flag.String("trace", "", "record fig9/breakdown with lifecycle tracing and write Chrome trace-event JSON to this file")
+	flowsPath := flag.String("flows", "", "write the telemetry experiment's causal flows as Chrome trace-event JSON to this file")
+	foldedPath := flag.String("folded", "", "write the telemetry experiment's causal flows as folded flamegraph stacks to this file")
 	flag.Parse()
 
 	var tracer *trace.Tracer
@@ -294,6 +304,43 @@ func main() {
 		}
 		bench.RenderBatch(os.Stdout, r)
 		return nil
+	})
+
+	run("telemetry", func() error {
+		res, err := bench.Telemetry(bench.TelemetryConfig{})
+		if err != nil {
+			return err
+		}
+		bench.RenderTelemetry(os.Stdout, res)
+		// The wall-clock half of the engine profile is machine-dependent,
+		// so it goes to stderr and stays out of CI's byte comparison.
+		telemetry.RenderEngineStats(os.Stderr, res.Engine)
+		export := func(path string, f func(*os.File) error) error {
+			if path == "" {
+				return nil
+			}
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f(out); err != nil {
+				_ = out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "hambench: wrote", path)
+			return nil
+		}
+		if err := export(*flowsPath, func(f *os.File) error {
+			return res.Collector.ExportChromeFlows(f)
+		}); err != nil {
+			return err
+		}
+		return export(*foldedPath, func(f *os.File) error {
+			return res.Collector.ExportFolded(f)
+		})
 	})
 
 	run("ablate-result-path", func() error {

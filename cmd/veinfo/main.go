@@ -1,7 +1,11 @@
 // Command veinfo prints the simulated benchmark system's configuration: the
 // processor specifications of Table I and the system/software configuration
 // of Table III of the paper. With -json the same machine description is
-// emitted as a single JSON document for tooling.
+// emitted as a single JSON document for tooling, extended with a
+// "telemetry" section: per-node counters, span statistics and latency
+// histogram quantiles (p50/p99/p99.9) from a short traced offload probe on
+// a one-VE machine. The probe runs on the simulated clock, so the section
+// is deterministic.
 package main
 
 import (
@@ -11,7 +15,10 @@ import (
 	"os"
 
 	"hamoffload/internal/topology"
+	"hamoffload/internal/trace"
 	"hamoffload/internal/units"
+	"hamoffload/machine"
+	"hamoffload/offload"
 )
 
 func main() {
@@ -99,6 +106,44 @@ func toProcJSON(model string, cores, threads, vw int, ghz, gflops float64,
 	}
 }
 
+// probeEmpty is the empty functor the telemetry probe offloads.
+var probeEmpty = offload.NewFunc0[offload.Unit]("veinfo.empty",
+	func(c *offload.Ctx) (offload.Unit, error) { return offload.Unit{}, nil })
+
+// probeTelemetry runs a short traced offload probe — 32 empty sync offloads
+// over the DMA protocol on a one-VE machine — and returns the per-node
+// registry snapshots: counters, span stats, and the probe's offload-latency
+// histogram quantiles.
+func probeTelemetry() ([]trace.RegistrySnapshot, error) {
+	tr := trace.NewTracer()
+	timing := topology.DefaultTiming()
+	timing.Tracer = tr
+	m, err := machine.New(machine.Config{VEs: 1, Timing: &timing})
+	if err != nil {
+		return nil, err
+	}
+	err = m.RunMain(func(p *machine.Proc) error {
+		rt, cerr := machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		if cerr != nil {
+			return cerr
+		}
+		defer func() { _ = rt.Finalize() }()
+		host := tr.Node(0, "dmab", p)
+		for i := 0; i < 32; i++ {
+			start := p.Now()
+			if _, err := offload.Sync(rt, 1, probeEmpty.Bind()); err != nil {
+				return err
+			}
+			host.Observe("offload-latency", p.Now().Sub(start))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr.Snapshots(), nil
+}
+
 // printJSON emits Tables I and III as one JSON document.
 func printJSON(sys *topology.System) error {
 	cpu := sys.Sockets[0].CPU
@@ -121,6 +166,7 @@ func printJSON(sys *topology.System) error {
 			VEO           string `json:"veo"`
 			VECompiler    string `json:"ve_compiler"`
 		} `json:"table3"`
+		Telemetry []trace.RegistrySnapshot `json:"telemetry"`
 	}{System: sys.Name}
 	out.Table1.VH = toProcJSON(cpu.Model, cpu.Cores, cpu.Threads, cpu.VectorWidthF64,
 		cpu.ClockGHz, cpu.PeakGFLOPS, cpu.MaxMemory, cpu.MemoryBandwidth,
@@ -138,6 +184,11 @@ func printJSON(sys *topology.System) error {
 	out.Table3.VEOS = sys.VEOSVer
 	out.Table3.VEO = sys.VEOVer
 	out.Table3.VECompiler = sys.VECompiler
+	snaps, err := probeTelemetry()
+	if err != nil {
+		return err
+	}
+	out.Telemetry = snaps
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -32,6 +32,9 @@ var desPackages = []string{
 	"hamoffload/internal/topology",
 	"hamoffload/bench",
 	"hamoffload/sched", // placement must stay a pure function of DES-visible state
+	// telemetry records simulated-clock series and SLO windows; only its
+	// engine profiler reads the wall clock, under //lint:allow walltime.
+	"hamoffload/internal/telemetry",
 }
 
 // wallClockPackages are allowed to use real time and raw goroutines: they
@@ -63,6 +66,9 @@ var deterministicOutputPackages = []string{
 	"hamoffload/cmd/benchreg",
 	"hamoffload/bench",
 	"hamoffload/sched", // batch frames and placement feed deterministic traces
+	// telemetry's renders and exports (sparklines, SLO table, Chrome flows,
+	// folded stacks) are diffed byte-for-byte in CI.
+	"hamoffload/internal/telemetry",
 }
 
 // unitcastExempt own the unit types and may convert freely.
@@ -100,6 +106,9 @@ var WallClockSanctioned = []string{
 	"hamoffload/internal/backend/tcpb",
 	"hamoffload/internal/backend/mpib",
 	"hamoffload/internal/trace",
+	// telemetry's DES engine profiler measures real events-per-second by
+	// design; its two time.Now reads carry //lint:allow walltime markers.
+	"hamoffload/internal/telemetry",
 }
 
 // InAny reports whether path equals one of the roots or lies beneath one.

@@ -61,6 +61,7 @@ func init() {
 			t := &Target{kctx: ctx, st: st, heap: &VEHeap{VE: card.Mem}, nt: nt}
 			rt := core.NewRuntime(t, st.arch)
 			rt.SetTracer(nt)
+			rt.SetTelemetry(card.Timing.Telemetry, ctx.P)
 			if err := rt.Serve(); err != nil {
 				return 1, err
 			}

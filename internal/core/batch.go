@@ -6,6 +6,7 @@ import (
 
 	"hamoffload/internal/ham"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/telemetry"
 	"hamoffload/internal/trace"
 )
 
@@ -164,13 +165,14 @@ type batchQueue struct {
 	pds      []*pending     // per-message FT state, nil entries with FT off
 	sinks    []settler      // futures awaiting the frame, parallel to msgs
 	tks      []*batchTicket // tickets to rebind at flush, parallel to msgs
+	fids     []uint64       // per-message causal trace IDs, 0 without flows
 	bytes    int            // wire size of the frame so far
 	firstAdd simtime.Time   // clock at first queued message (deadline basis)
 	timed    bool           // firstAdd is valid
 }
 
 func (q *batchQueue) reset() {
-	q.msgs, q.pds, q.sinks, q.tks = nil, nil, nil, nil
+	q.msgs, q.pds, q.sinks, q.tks, q.fids = nil, nil, nil, nil, nil
 	q.bytes = batHeader
 	q.timed = false
 }
@@ -247,7 +249,7 @@ func BatchAdd[R any](b *Batcher, node NodeID, fn Functor[R]) *Future[R] {
 	if !rt.batch.Enabled() {
 		return Async(rt, node, fn)
 	}
-	_, endOff := rt.beginOffload(fn.name)
+	endOff := rt.beginOffload(node, fn.name)
 	failed := func(err error) *Future[R] {
 		f := &Future[R]{rt: rt, onDone: endOff}
 		f.fail(err)
@@ -267,6 +269,7 @@ func BatchAdd[R any](b *Batcher, node NodeID, fn Functor[R]) *Future[R] {
 	}
 	rt.offloads++
 	wire, pd := rt.seal(node, msg)
+	wire, fid := rt.flowSeal(wire, pd)
 
 	q := b.queue(node)
 	// Length accounting against the frame cap: ship the current frame first
@@ -290,7 +293,11 @@ func BatchAdd[R any](b *Batcher, node NodeID, fn Functor[R]) *Future[R] {
 	q.pds = append(q.pds, pd)
 	q.sinks = append(q.sinks, f)
 	q.tks = append(q.tks, tk)
+	q.fids = append(q.fids, fid)
 	q.bytes += batPerMsg + len(wire)
+	if rt.tel != nil {
+		rt.tel.Gauge(int(node), telemetry.SeriesQueue, rt.telNow(), int64(len(q.msgs)))
+	}
 	if len(q.msgs) >= rt.batch.messages() || q.bytes >= b.frameCap() {
 		b.flushQueue(q)
 	}
@@ -322,14 +329,24 @@ func (b *Batcher) flushQueue(q *batchQueue) {
 		fmt.Sprintf("batch flush node %d x%d", q.node, len(q.msgs)), rt.offloads)
 	rt.tr.Count("batch.flushes", 1)
 	rt.tr.Count("batch.messages", int64(len(q.msgs)))
+	if rt.tel != nil {
+		now := rt.telNow()
+		rt.tel.Add(int(q.node), telemetry.SeriesOccupancy, now, int64(len(q.msgs)))
+		rt.tel.Gauge(int(q.node), telemetry.SeriesQueue, now, 0)
+		label := fmt.Sprintf("x%d", len(q.msgs))
+		for _, fid := range q.fids {
+			rt.tel.Event(fid, now, int(rt.ThisNode()), telemetry.FlowFlush, label)
+		}
+	}
 	var fpd *pending
 	if rt.ft.enabled() {
 		// The frame retransmits as a unit; the sub-envelopes' sequence
 		// numbers make re-execution safe, so the frame reuses the first
-		// entry's seq for bookkeeping and trace labels.
-		fpd = &pending{node: q.node, msg: frame, seq: q.pds[0].seq}
+		// entry's seq (and first trace ID) for bookkeeping and labels.
+		fpd = &pending{node: q.node, msg: frame, seq: q.pds[0].seq, fid: q.fids[0]}
 	}
 	bc := &batchCall{rt: rt, fpd: fpd, pds: q.pds, sinks: q.sinks}
+	rt.noteSent(q.node, len(frame))
 	h, err := rt.backend.Call(q.node, frame)
 	if err != nil && rt.canRetry(fpd, err) {
 		h, err = rt.resubmit(fpd)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hamoffload/internal/ham"
+	"hamoffload/internal/telemetry"
 	"hamoffload/internal/trace"
 )
 
@@ -117,6 +118,16 @@ type Runtime struct {
 	// Message batching (see batch.go). The zero policy is off: every
 	// offload travels as its own wire message, bit-identical to before.
 	batch BatchPolicy
+
+	// Continuous telemetry (see telemetry.go). tel nil = off; curFlow is
+	// the trace ID of the offload currently being sealed, lastFlow the most
+	// recently issued one (for scheduler placement events); inflight counts
+	// open offloads per target node for the gauge series.
+	tel      *telemetry.Collector
+	telClock trace.Clock
+	curFlow  uint64
+	lastFlow uint64
+	inflight map[NodeID]int64
 }
 
 // NewRuntime creates the runtime for one node. arch labels this node's
@@ -176,6 +187,10 @@ func (rt *Runtime) Executed() int64 { return rt.executed }
 // Batch frames (see batch.go) unpack here too: each entry re-enters
 // Dispatch individually, so enveloping and dedup compose with batching.
 func (rt *Runtime) Dispatch(msg []byte) []byte {
+	if fid, inner, ok := openFlow(msg); ok {
+		rt.noteExecute(fid, inner)
+		msg = inner
+	}
 	if subs, isBatch, berr := openBatch(msg); isBatch {
 		return rt.dispatchBatch(subs, berr)
 	}
@@ -223,16 +238,46 @@ func (rt *Runtime) Serve() error {
 	return rt.backend.Serve(rt)
 }
 
-// beginOffload opens the whole-lifecycle span for the next offload on this
-// runtime and returns its message id plus the span-closing closure (a no-op
-// without a tracer). The id matches what callAsync assigns when the message
-// actually goes out.
-func (rt *Runtime) beginOffload(name string) (int64, func()) {
+// beginOffload opens the whole-lifecycle span for the next offload to node
+// and returns the closure that closes it when the offload settles. With a
+// tracer attached it opens the PhaseOffload span; with telemetry attached it
+// additionally bumps the target's in-flight gauge, allocates the offload's
+// causal trace ID (flows armed), and — in the returned closure — feeds the
+// issue-to-settle latency to the SLO tracker. Without either it is a no-op.
+func (rt *Runtime) beginOffload(node NodeID, name string) func() {
 	id := rt.offloads + 1
-	if rt.tr == nil {
-		return id, func() {}
+	var endSpan func()
+	if rt.tr != nil {
+		endSpan = rt.tr.Begin(trace.PhaseOffload, "offload "+name, id)
 	}
-	return id, rt.tr.Begin(trace.PhaseOffload, "offload "+name, id)
+	if rt.tel == nil {
+		if endSpan == nil {
+			return func() {}
+		}
+		return endSpan
+	}
+	start := rt.telNow()
+	var fid uint64
+	if rt.tel.FlowsEnabled() {
+		fid = rt.tel.NextTraceID()
+		rt.tel.Event(fid, start, int(rt.ThisNode()), telemetry.FlowIssue, name)
+	}
+	rt.curFlow, rt.lastFlow = fid, fid
+	if rt.inflight == nil {
+		rt.inflight = map[NodeID]int64{}
+	}
+	rt.inflight[node]++
+	rt.tel.Gauge(int(node), telemetry.SeriesInflight, start, rt.inflight[node])
+	return func() {
+		if endSpan != nil {
+			endSpan()
+		}
+		end := rt.telNow()
+		rt.inflight[node]--
+		rt.tel.Gauge(int(node), telemetry.SeriesInflight, end, rt.inflight[node])
+		rt.tel.ObserveLatency(end, end.Sub(start))
+		rt.tel.Event(fid, end, int(rt.ThisNode()), telemetry.FlowSettle, name)
+	}
 }
 
 // callAsync posts the named message with the given payload. With fault
@@ -254,6 +299,8 @@ func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder
 	}
 	rt.offloads++
 	wire, pd := rt.seal(node, msg)
+	wire, _ = rt.flowSeal(wire, pd)
+	rt.noteSent(node, len(wire))
 	h, err := rt.backend.Call(node, wire)
 	if err != nil && rt.canRetry(pd, err) {
 		h, err = rt.resubmit(pd)
@@ -266,7 +313,7 @@ func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder
 
 // callSync posts the message and waits for its response payload.
 func (rt *Runtime) callSync(node NodeID, name string, payload func(*ham.Encoder)) (*ham.Decoder, error) {
-	_, endOff := rt.beginOffload(name)
+	endOff := rt.beginOffload(node, name)
 	defer endOff()
 	h, pd, err := rt.callAsync(node, name, payload)
 	if err != nil {

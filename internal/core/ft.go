@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/telemetry"
 	"hamoffload/internal/trace"
 )
 
@@ -74,6 +75,7 @@ type pending struct {
 	msg     []byte
 	seq     uint64
 	attempt int
+	fid     uint64 // causal trace ID riding on msg, 0 without armed flows
 }
 
 // nextSeq allocates a fresh envelope sequence number.
@@ -115,6 +117,14 @@ func (rt *Runtime) resubmit(pd *pending) (Handle, error) {
 		rt.retries++
 		rt.tr.Instant(trace.PhaseRetry, fmt.Sprintf("retry %d seq %d", pd.attempt, pd.seq), rt.offloads)
 		rt.tr.Count("offload.retries", 1)
+		if rt.tel != nil {
+			now := rt.telNow()
+			rt.tel.Add(int(pd.node), telemetry.SeriesRetries, now, 1)
+			// For a retried batch frame pd.fid is the first entry's ID; the
+			// whole frame retransmits as a unit, so one event stands in.
+			rt.tel.Event(pd.fid, now, int(rt.ThisNode()), telemetry.FlowRetry,
+				fmt.Sprintf("attempt %d", pd.attempt))
+		}
 		d := rt.ft.BackoffBase
 		if d > 0 {
 			for i := 1; i < pd.attempt; i++ {
@@ -128,6 +138,7 @@ func (rt *Runtime) resubmit(pd *pending) (Handle, error) {
 				b.Backoff(d)
 			}
 		}
+		rt.noteSent(pd.node, len(pd.msg))
 		h, err := rt.backend.Call(pd.node, pd.msg)
 		if err == nil {
 			return h, nil

@@ -130,7 +130,7 @@ func (f Functor[R]) Name() string { return f.name }
 // (Table II's async). The offload lifecycle span opens here and closes when
 // the future settles.
 func Async[R any](rt *Runtime, node NodeID, fn Functor[R]) *Future[R] {
-	_, endOff := rt.beginOffload(fn.name)
+	endOff := rt.beginOffload(node, fn.name)
 	h, pd, err := rt.callAsync(node, fn.name, fn.payload)
 	if err != nil {
 		f := &Future[R]{rt: rt, onDone: endOff}

@@ -71,6 +71,7 @@ type Engine struct {
 	live   int           // procs that have been spawned and not yet finished
 	stop   bool
 	events uint64
+	maxq   int // event-queue high-water mark, for the engine profiler
 
 	// MaxEvents bounds the total number of processed wake events; zero means
 	// the default of 1<<40. Exceeding it aborts Run with ErrEventLimit.
@@ -92,6 +93,13 @@ func (e *Engine) Now() Time { return e.now }
 
 // Events returns the number of wake events processed so far.
 func (e *Engine) Events() uint64 { return e.events }
+
+// QueueLen returns the number of pending wake events right now.
+func (e *Engine) QueueLen() int { return len(e.eq) }
+
+// MaxQueueLen returns the event-queue high-water mark: the largest number
+// of wake events that were ever pending at once.
+func (e *Engine) MaxQueueLen() int { return e.maxq }
 
 // Spawn registers fn as a new process named name. The process starts running
 // at the current simulated time, after already-pending events at that time.
@@ -138,6 +146,9 @@ func (e *Engine) schedule(at Time, w *waiter, rsn int) {
 	}
 	e.seq++
 	heap.Push(&e.eq, event{at: at, seq: e.seq, w: w, rsn: rsn})
+	if len(e.eq) > e.maxq {
+		e.maxq = len(e.eq)
+	}
 }
 
 // Stop requests that Run return after the calling process next parks or

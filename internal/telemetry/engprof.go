@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+
+	"hamoffload/internal/simtime"
+)
+
+// EngineStats is one profiled run of the DES engine: how fast the simulator
+// itself executes on the machine running it. The simulated-clock fields
+// (Events, FinalTime, MaxQueueLen) are deterministic and reproduce
+// bit-for-bit; the wall-clock and allocation fields describe the host Go
+// runtime and vary run to run — they exist precisely to catch the engine
+// getting slower in real terms.
+type EngineStats struct {
+	Events      uint64        // wake events the engine processed
+	FinalTime   simtime.Time  // simulated clock at completion
+	MaxQueueLen int           // event-queue high-water mark
+	Wall        time.Duration // real elapsed time of the run
+
+	EventsPerWallSec float64 // Events / Wall seconds — the engine-speed gate
+	AllocsPerEvent   float64 // heap allocations per simulated event
+}
+
+// ProfileEngine runs one simulation (run must drive eng to completion, e.g.
+// a machine.RunMain closure) and measures the engine's real-world cost. It
+// is the one sanctioned wall-clock reader in the simulation tree: profiling
+// the simulator's own speed is meaningless on the simulated clock, so the
+// reads below are allowed by name, like trace's WallClock bridge.
+func ProfileEngine(eng *simtime.Engine, run func() error) (EngineStats, error) {
+	ev0 := eng.Events()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	//lint:allow walltime the engine profiler measures real events/sec by
+	// design; this wall-clock read never feeds simulated time.
+	start := time.Now()
+	err := run()
+	//lint:allow walltime closing the same sanctioned real-time measurement.
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	st := EngineStats{
+		Events:      eng.Events() - ev0,
+		FinalTime:   eng.Now(),
+		MaxQueueLen: eng.MaxQueueLen(),
+		Wall:        wall,
+	}
+	if s := wall.Seconds(); s > 0 {
+		st.EventsPerWallSec = float64(st.Events) / s
+	}
+	if st.Events > 0 {
+		st.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(st.Events)
+	}
+	return st, err
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"hamoffload/internal/simtime"
+)
+
+// FlowKind labels one step of an offload's causal record.
+type FlowKind string
+
+const (
+	// FlowIssue marks the offload being issued on the initiator.
+	FlowIssue FlowKind = "issue"
+	// FlowPlace marks a scheduler placement decision (name = policy).
+	FlowPlace FlowKind = "place"
+	// FlowFlush marks the offload's batch frame shipping (name = frame label).
+	FlowFlush FlowKind = "flush"
+	// FlowRetry marks a retransmission of the offload's wire message.
+	FlowRetry FlowKind = "retry"
+	// FlowExecute marks the message dispatching on the target node.
+	FlowExecute FlowKind = "execute"
+	// FlowSettle marks the offload's future settling on the initiator.
+	FlowSettle FlowKind = "settle"
+)
+
+// FlowEvent is one step of one offload's causal record. Events sharing an ID
+// belong to one offload; recording order within an ID is causal order.
+type FlowEvent struct {
+	ID   uint64
+	T    simtime.Time
+	Node int // node the step happened on (target node for place)
+	Kind FlowKind
+	Name string // functor name, policy name, or retry label
+}
+
+// Label is the event's display string in exports.
+func (e FlowEvent) Label() string {
+	if e.Name == "" {
+		return string(e.Kind)
+	}
+	return string(e.Kind) + " " + e.Name
+}
+
+// FlowLog accumulates causal events in recording order with a per-ID index.
+type FlowLog struct {
+	events []FlowEvent
+	byID   map[uint64][]int // event indices per trace ID, recording order
+}
+
+func newFlowLog() *FlowLog { return &FlowLog{byID: map[uint64][]int{}} }
+
+func (l *FlowLog) append(e FlowEvent) {
+	l.byID[e.ID] = append(l.byID[e.ID], len(l.events))
+	l.events = append(l.events, e)
+}
+
+// usOf renders a simulated time as Chrome's microsecond float.
+func usOf(t simtime.Time) float64 {
+	return float64(t) / float64(simtime.Microsecond)
+}
+
+// ExportChromeFlows writes the causal log as Chrome trace-event JSON: every
+// event is a thin slice on its node's track, and events sharing a trace ID
+// are connected with flow arrows (ph s/t/f), so chrome://tracing or Perfetto
+// draws each offload's issue → place → flush → execute → settle chain across
+// nodes. Output is deterministic: recording order, stable field order.
+func (c *Collector) ExportChromeFlows(w io.Writer) error {
+	if c == nil || c.flows == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	c.mu.Lock()
+	events := append([]FlowEvent(nil), c.flows.events...)
+	c.mu.Unlock()
+	// Rebuild the per-ID index from the snapshot: recording order, so the
+	// export never depends on map iteration order.
+	byID := make(map[uint64][]int)
+	for i, e := range events {
+		byID[e.ID] = append(byID[e.ID], i)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	// pid = node + 2 keeps node tracks aligned with trace.ExportChrome's
+	// convention (pids 0/1 are reserved for metadata-ish tracks there).
+	seenPid := map[int]bool{}
+	for i, e := range events {
+		pid := e.Node + 2
+		if !seenPid[pid] {
+			seenPid[pid] = true
+			emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"node %d"}}`, pid, e.Node)
+		}
+		emit(`{"name":%q,"cat":"flow","ph":"X","ts":%.6f,"dur":0.001,"pid":%d,"tid":1}`,
+			e.Label(), usOf(e.T), pid)
+		chain := byID[e.ID]
+		if len(chain) < 2 {
+			continue
+		}
+		pos := 0
+		for j, idx := range chain {
+			if idx == i {
+				pos = j
+				break
+			}
+		}
+		ph := "t"
+		switch pos {
+		case 0:
+			ph = "s"
+		case len(chain) - 1:
+			ph = "f"
+		}
+		bp := ""
+		if ph == "f" {
+			bp = `,"bp":"e"`
+		}
+		emit(`{"name":"offload","cat":"flow","ph":%q,"id":"0x%x","ts":%.6f,"pid":%d,"tid":1%s}`,
+			ph, e.ID, usOf(e.T), pid, bp)
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ExportFolded writes the causal log as folded flamegraph stacks (the
+// flamegraph.pl / inferno input format): each offload contributes one frame
+// per causal step, and the weight of a stack prefix is the simulated time
+// spent between its last step and the next. Lines are aggregated and sorted,
+// so identical runs produce identical bytes.
+func (c *Collector) ExportFolded(w io.Writer) error {
+	if c == nil || c.flows == nil {
+		return nil
+	}
+	c.mu.Lock()
+	events := append([]FlowEvent(nil), c.flows.events...)
+	c.mu.Unlock()
+	// Rebuild the per-ID chains from the snapshot; ids keeps first-seen
+	// (recording) order, so no map iteration order leaks into the export.
+	var ids []uint64
+	chains := make(map[uint64][]int)
+	for i, e := range events {
+		if _, ok := chains[e.ID]; !ok {
+			ids = append(ids, e.ID)
+		}
+		chains[e.ID] = append(chains[e.ID], i)
+	}
+
+	weights := map[string]int64{}
+	for _, id := range ids {
+		chain := chains[id]
+		stack := ""
+		for i := 0; i+1 < len(chain); i++ {
+			cur, next := events[chain[i]], events[chain[i+1]]
+			if stack == "" {
+				stack = cur.Label()
+			} else {
+				stack += ";" + cur.Label()
+			}
+			gap := next.T.Sub(cur.T)
+			if gap < 0 {
+				gap = 0
+			}
+			weights[stack] += int64(gap)
+		}
+	}
+	stacks := make([]string, 0, len(weights))
+	for s := range weights {
+		stacks = append(stacks, s)
+	}
+	sort.Strings(stacks)
+	bw := bufio.NewWriter(w)
+	for _, s := range stacks {
+		// Weights are picoseconds of simulated time; flamegraph tools treat
+		// them as opaque sample counts.
+		fmt.Fprintf(bw, "%s %d\n", s, weights[s])
+	}
+	return bw.Flush()
+}
+
+// FlowKindCounts tallies the causal log by kind, sorted by kind name — the
+// render summary line.
+func (c *Collector) FlowKindCounts() []struct {
+	Kind  FlowKind
+	Count int64
+} {
+	if c == nil || c.flows == nil {
+		return nil
+	}
+	c.mu.Lock()
+	m := map[FlowKind]int64{}
+	for _, e := range c.flows.events {
+		m[e.Kind]++
+	}
+	c.mu.Unlock()
+	kinds := make([]FlowKind, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := make([]struct {
+		Kind  FlowKind
+		Count int64
+	}, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, struct {
+			Kind  FlowKind
+			Count int64
+		}{k, m[k]})
+	}
+	return out
+}

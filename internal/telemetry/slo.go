@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/trace"
+)
+
+// SLO tracks offload latency against an objective over rolling simulated-
+// time windows: each window holds a full latency histogram (so p50/p99/p99.9
+// are available per window, not just overall) plus a violation count. When
+// the window list outgrows maxWin, adjacent windows pair-merge on even grid
+// boundaries and the window length doubles — the same lossless downsampling
+// scheme as Series, applied to histograms.
+type SLO struct {
+	target     simtime.Duration
+	budget     float64
+	window     simtime.Duration
+	maxWin     int
+	wins       []*sloWindow
+	total      *trace.Histogram
+	violations int64
+}
+
+// sloWindow is one accounting window on the absolute grid: window idx covers
+// [idx*window, (idx+1)*window).
+type sloWindow struct {
+	idx        int64
+	hist       *trace.Histogram
+	violations int64
+}
+
+func newSLO(target simtime.Duration, budget float64, window simtime.Duration, maxWin int) *SLO {
+	return &SLO{
+		target: target, budget: budget, window: window, maxWin: maxWin,
+		total: trace.NewHistogram("offload.latency"),
+	}
+}
+
+// observe records one offload latency completed at simulated time now.
+func (s *SLO) observe(now simtime.Time, d simtime.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.total.Observe(d)
+	viol := int64(0)
+	if d > s.target {
+		viol = 1
+		s.violations++
+	}
+	idx := int64(now) / int64(s.window)
+	if n := len(s.wins); n > 0 && idx < s.wins[n-1].idx {
+		idx = s.wins[n-1].idx
+	}
+	if n := len(s.wins); n == 0 || s.wins[n-1].idx != idx {
+		s.wins = append(s.wins, &sloWindow{idx: idx, hist: trace.NewHistogram("slo.window")})
+		// Sparse windows may survive one halving with distinct indices, so
+		// coarsen until the list fits again.
+		for len(s.wins) > s.maxWin {
+			s.coarsen()
+		}
+	}
+	w := s.wins[len(s.wins)-1]
+	w.hist.Observe(d)
+	w.violations += viol
+}
+
+// coarsen doubles the window length and re-buckets the existing windows on
+// the coarser grid, merging histograms of windows that now share an index.
+// Like Series.downsample, alignment is to the absolute grid, so the final
+// layout depends only on the observations.
+func (s *SLO) coarsen() {
+	var merged []*sloWindow
+	for _, w := range s.wins {
+		idx := w.idx / 2
+		if n := len(merged); n > 0 && merged[n-1].idx == idx {
+			merged[n-1].hist.Merge(w.hist)
+			merged[n-1].violations += w.violations
+			continue
+		}
+		merged = append(merged, &sloWindow{idx: idx, hist: w.hist, violations: w.violations})
+	}
+	s.wins = merged
+	s.window *= 2
+}
+
+// SLOWindowStat is the report row for one accounting window.
+type SLOWindowStat struct {
+	Start         simtime.Time
+	N             int64
+	P50           simtime.Duration
+	P99           simtime.Duration
+	P999          simtime.Duration
+	Max           simtime.Duration
+	Violations    int64
+	ViolationRate float64 // Violations / N
+	BurnRate      float64 // ViolationRate / budget; >1 burns error budget
+}
+
+// SLOReport is the full SLO accounting snapshot.
+type SLOReport struct {
+	Target  simtime.Duration
+	Budget  float64
+	Window  simtime.Duration // current (possibly coarsened) window length
+	Windows []SLOWindowStat
+
+	// Overall accounting across every observation.
+	N             int64
+	P50           simtime.Duration
+	P99           simtime.Duration
+	P999          simtime.Duration
+	Max           simtime.Duration
+	Mean          simtime.Duration
+	Violations    int64
+	ViolationRate float64
+	BurnRate      float64
+}
+
+func (s *SLO) report() SLOReport {
+	r := SLOReport{
+		Target: s.target, Budget: s.budget, Window: s.window,
+		N:    s.total.Count(),
+		P50:  s.total.Quantile(0.5),
+		P99:  s.total.Quantile(0.99),
+		P999: s.total.Quantile(0.999),
+		Max:  s.total.Max(),
+		Mean: s.total.Mean(),
+
+		Violations: s.violations,
+	}
+	if r.N > 0 {
+		r.ViolationRate = float64(r.Violations) / float64(r.N)
+		r.BurnRate = r.ViolationRate / s.budget
+	}
+	for _, w := range s.wins {
+		ws := SLOWindowStat{
+			Start:      simtime.Time(w.idx * int64(s.window)),
+			N:          w.hist.Count(),
+			P50:        w.hist.Quantile(0.5),
+			P99:        w.hist.Quantile(0.99),
+			P999:       w.hist.Quantile(0.999),
+			Max:        w.hist.Max(),
+			Violations: w.violations,
+		}
+		if ws.N > 0 {
+			ws.ViolationRate = float64(ws.Violations) / float64(ws.N)
+			ws.BurnRate = ws.ViolationRate / s.budget
+		}
+		r.Windows = append(r.Windows, ws)
+	}
+	return r
+}

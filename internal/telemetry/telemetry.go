@@ -1,0 +1,260 @@
+// Package telemetry is the continuous-observability layer of the simulated
+// serving stack: where internal/trace aggregates point-in-time span stats,
+// this package records how the system *evolves* over simulated time.
+//
+// It provides four instruments, all sampled on the deterministic DES clock:
+//
+//   - fixed-interval time series (gauges and rate counters) in ring buffers
+//     that downsample by pair-merging when they fill, so a series covers an
+//     arbitrarily long run in bounded memory without losing totals;
+//   - a windowed SLO tracker computing rolling p50/p99/p99.9 offload latency
+//     and violation (burn-rate) accounting against a latency target;
+//   - causal offload traces: a deterministic 64-bit trace ID carried through
+//     core's wire envelopes links issue, placement, batch flush, retry,
+//     execute and settle events of one offload into a single record,
+//     exportable as Chrome flow events or folded flamegraph stacks;
+//   - a DES engine profiler measuring the *real* cost of simulation itself
+//     (wall-clock events/sec, allocations per event, queue depth).
+//
+// A nil *Collector is valid and records nothing; every instrumentation site
+// in core costs one nil check when telemetry is off, keeping un-armed runs
+// bit-identical to the un-instrumented runtime. With a collector attached
+// but Flows off, recording is pure bookkeeping on the host — no wire bytes
+// change, so simulated timing stays bit-identical too. Arming Flows adds a
+// 12-byte causal frame per message, which is a (deterministic) timing change.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"hamoffload/internal/simtime"
+)
+
+// Config parameterises a Collector. The zero value of every field selects a
+// sensible default, so Collector{} is usable via New(Config{}).
+type Config struct {
+	// Interval is the initial time-series bin width (default 1 µs). Bins
+	// double in width every time a series outgrows MaxBins.
+	Interval simtime.Duration
+	// MaxBins caps each series' ring buffer (default 128, rounded up to even).
+	MaxBins int
+	// SLOTarget is the offload-latency objective (default 50 µs).
+	SLOTarget simtime.Duration
+	// SLOBudget is the allowed violation fraction (default 0.01 = 1%).
+	SLOBudget float64
+	// SLOWindow is the initial SLO accounting window (default 100 µs);
+	// windows double like series bins when MaxWindows is exceeded.
+	SLOWindow simtime.Duration
+	// MaxWindows caps the retained SLO windows (default 64, rounded to even).
+	MaxWindows int
+	// Flows arms causal tracing: trace IDs are allocated per offload and a
+	// causal frame is added to every wire message. Off by default because it
+	// changes wire bytes (and therefore simulated transfer timing).
+	Flows bool
+}
+
+func (c Config) fill() Config {
+	if c.Interval <= 0 {
+		c.Interval = simtime.Microsecond
+	}
+	if c.MaxBins <= 0 {
+		c.MaxBins = 128
+	}
+	if c.MaxBins%2 != 0 {
+		c.MaxBins++
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 50 * simtime.Microsecond
+	}
+	if c.SLOBudget <= 0 {
+		c.SLOBudget = 0.01
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 100 * simtime.Microsecond
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 64
+	}
+	if c.MaxWindows%2 != 0 {
+		c.MaxWindows++
+	}
+	return c
+}
+
+// Standard series names recorded by the runtime. Bench and render code keys
+// off these; user code may record additional series freely.
+const (
+	SeriesInflight  = "offload.inflight" // gauge: in-flight offloads per target node
+	SeriesQueue     = "batch.queue"      // gauge: queued messages per target node
+	SeriesOccupancy = "batch.occupancy"  // counter: messages per shipped frame
+	SeriesRetries   = "offload.retries"  // counter: retransmissions per target node
+	SeriesBytes     = "wire.bytes"       // counter: wire bytes shipped per target node
+)
+
+// Collector owns all telemetry of one simulated application: the host and
+// target runtimes of a machine share one Collector, so causal records span
+// nodes. It is safe for concurrent use (wall-clock backends record from
+// their proxy goroutines); on the simulated backends all recording happens
+// from the single running DES process, so the contents are deterministic.
+//
+// A nil *Collector is valid and ignores everything.
+type Collector struct {
+	mu       sync.Mutex
+	cfg      Config
+	series   map[seriesKey]*Series
+	order    []*Series
+	slo      *SLO
+	flows    *FlowLog // nil unless cfg.Flows
+	traceSeq uint64
+}
+
+type seriesKey struct {
+	node int
+	name string
+}
+
+// New returns an empty collector with cfg's (defaulted) parameters.
+func New(cfg Config) *Collector {
+	cfg = cfg.fill()
+	c := &Collector{
+		cfg:    cfg,
+		series: map[seriesKey]*Series{},
+		slo:    newSLO(cfg.SLOTarget, cfg.SLOBudget, cfg.SLOWindow, cfg.MaxWindows),
+	}
+	if cfg.Flows {
+		c.flows = newFlowLog()
+	}
+	return c
+}
+
+// Config returns the collector's (defaulted) configuration.
+func (c *Collector) Config() Config {
+	if c == nil {
+		return Config{}
+	}
+	return c.cfg
+}
+
+// FlowsEnabled reports whether causal flow tracing is armed. False on nil.
+func (c *Collector) FlowsEnabled() bool { return c != nil && c.flows != nil }
+
+// locked returns the series for (node, name), creating it on demand.
+// Callers hold c.mu.
+func (c *Collector) seriesLocked(node int, name string, kind Kind) *Series {
+	k := seriesKey{node: node, name: name}
+	s, ok := c.series[k]
+	if !ok {
+		s = newSeries(name, node, kind, c.cfg.Interval, c.cfg.MaxBins)
+		c.series[k] = s
+		c.order = append(c.order, s)
+	}
+	return s
+}
+
+// Gauge records an instantaneous level — in-flight offloads, queue depth —
+// for (node, name) at simulated time now.
+func (c *Collector) Gauge(node int, name string, now simtime.Time, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.seriesLocked(node, name, Gauge).record(now, v)
+	c.mu.Unlock()
+}
+
+// Add records a rate-counter increment — retries, bytes moved — for
+// (node, name) at simulated time now.
+func (c *Collector) Add(node int, name string, now simtime.Time, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.seriesLocked(node, name, Counter).record(now, delta)
+	c.mu.Unlock()
+}
+
+// ObserveLatency feeds one completed offload's issue-to-settle latency into
+// the SLO tracker, binned by completion time.
+func (c *Collector) ObserveLatency(now simtime.Time, d simtime.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.slo.observe(now, d)
+	c.mu.Unlock()
+}
+
+// NextTraceID allocates the next deterministic 64-bit trace ID. IDs are a
+// splitmix64 mix of an allocation counter: unique, well-spread for display
+// tools, and identical across reruns of the same simulation.
+func (c *Collector) NextTraceID() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	c.traceSeq++
+	id := splitmix64(c.traceSeq)
+	c.mu.Unlock()
+	return id
+}
+
+// Event appends one causal flow event. A no-op unless Flows is armed.
+func (c *Collector) Event(id uint64, now simtime.Time, node int, kind FlowKind, name string) {
+	if c == nil || c.flows == nil || id == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.flows.append(FlowEvent{ID: id, T: now, Node: node, Kind: kind, Name: name})
+	c.mu.Unlock()
+}
+
+// Series returns snapshots of every recorded series, sorted by (node, name)
+// so iteration order is deterministic regardless of recording interleaving.
+func (c *Collector) Series() []*Series {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]*Series, 0, len(c.order))
+	for _, s := range c.order {
+		out = append(out, s.clone())
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].node != out[j].node {
+			return out[i].node < out[j].node
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// SLOReport returns the current SLO accounting (zero value on nil).
+func (c *Collector) SLOReport() SLOReport {
+	if c == nil {
+		return SLOReport{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slo.report()
+}
+
+// FlowEvents returns a copy of the causal event log in recording order.
+func (c *Collector) FlowEvents() []FlowEvent {
+	if c == nil || c.flows == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]FlowEvent(nil), c.flows.events...)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// high-quality bijective mix, so sequential seeds yield well-spread IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E9B5
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -5,6 +5,7 @@ import (
 
 	"hamoffload/internal/faults"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/telemetry"
 	"hamoffload/internal/trace"
 	"hamoffload/internal/units"
 )
@@ -180,6 +181,12 @@ type Timing struct {
 	// exactly like Tracer. Substrate rules key their Node field to the VE
 	// card id.
 	Faults *faults.Injector
+
+	// Telemetry, when non-nil, is the continuous-observability collector the
+	// HAM runtimes on this machine share: simulated-clock time series, SLO
+	// latency accounting and (when armed) causal offload flows. Nil — the
+	// default — records nothing at zero cost, exactly like Tracer.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultTiming returns the calibrated constants reproducing the paper's

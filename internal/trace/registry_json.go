@@ -1,0 +1,93 @@
+package trace
+
+// Machine-readable snapshots of the per-node registries, for veinfo -json
+// and any other tooling that wants the observability state without parsing
+// the human-readable Render output. Every duration is reported in
+// microseconds of simulated time, matching the benchmark reports.
+
+// SpanStatSnapshot is one span name's aggregate in JSON form.
+type SpanStatSnapshot struct {
+	Name   string  `json:"name"`
+	Phase  string  `json:"phase"`
+	Count  int64   `json:"n"`
+	MeanUS float64 `json:"mean_us"`
+	MinUS  float64 `json:"min_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// CounterSnapshot is one named counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistSnapshot reduces one latency histogram to its headline quantiles.
+type HistSnapshot struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"n"`
+	MinUS  float64 `json:"min_us"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// RegistrySnapshot is one node's full observability state.
+type RegistrySnapshot struct {
+	Node       int                `json:"node"`
+	Backend    string             `json:"backend"`
+	Counters   []CounterSnapshot  `json:"counters,omitempty"`
+	Spans      []SpanStatSnapshot `json:"spans,omitempty"`
+	Histograms []HistSnapshot     `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. All slices are sorted by
+// name, so the serialisation is byte-stable for deterministic runs. Read it
+// only after recording has quiesced, like Hist.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	snap := RegistrySnapshot{Node: r.Node(), Backend: r.Backend()}
+	if r == nil {
+		return snap
+	}
+	for _, n := range r.CounterNames() {
+		snap.Counters = append(snap.Counters, CounterSnapshot{Name: n, Value: r.Counter(n)})
+	}
+	for _, st := range r.SpanStats() {
+		snap.Spans = append(snap.Spans, SpanStatSnapshot{
+			Name:   st.Name,
+			Phase:  string(st.Phase),
+			Count:  st.Count,
+			MeanUS: st.Mean().Microseconds(),
+			MinUS:  st.Min.Microseconds(),
+			MaxUS:  st.Max.Microseconds(),
+		})
+	}
+	for _, n := range r.HistNames() {
+		h := r.Hist(n)
+		snap.Histograms = append(snap.Histograms, HistSnapshot{
+			Name:   n,
+			Count:  h.Count(),
+			MinUS:  h.Min().Microseconds(),
+			MeanUS: h.Mean().Microseconds(),
+			P50US:  h.Quantile(0.50).Microseconds(),
+			P99US:  h.Quantile(0.99).Microseconds(),
+			P999US: h.Quantile(0.999).Microseconds(),
+			MaxUS:  h.Max().Microseconds(),
+		})
+	}
+	return snap
+}
+
+// Snapshots captures every node registry of the tracer, sorted by node id.
+func (t *Tracer) Snapshots() []RegistrySnapshot {
+	if t == nil {
+		return nil
+	}
+	regs := t.Registries()
+	out := make([]RegistrySnapshot, 0, len(regs))
+	for _, r := range regs {
+		out = append(out, r.Snapshot())
+	}
+	return out
+}

@@ -84,6 +84,26 @@ func (h *Histogram) Observe(d simtime.Duration) {
 	h.buckets[bucketOf(d)]++
 }
 
+// Merge folds o's observations into h. Bucket layouts are identical by
+// construction, so merging loses nothing beyond what bucketing already did;
+// the SLO tracker uses it to coarsen adjacent accounting windows.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 

@@ -105,6 +105,7 @@ func ConnectCluster(p *Proc, c *Cluster, opts ProtocolOptions) (*core.Runtime, e
 	}
 	rt := core.NewRuntime(b, "x86_64-vh-cluster")
 	rt.SetTracer(c.Nodes[0].Timing.Tracer.Node(0, "mpib", p))
+	rt.SetTelemetry(c.Nodes[0].Timing.Telemetry, p)
 	rt.SetFaultTolerance(opts.Retry)
 	rt.SetBatching(opts.Batch)
 	return rt, nil

@@ -24,6 +24,7 @@ import (
 	"hamoffload/internal/hostmem"
 	"hamoffload/internal/pcie"
 	"hamoffload/internal/simtime"
+	"hamoffload/internal/telemetry"
 	"hamoffload/internal/topology"
 	"hamoffload/internal/units"
 	"hamoffload/internal/vemem"
@@ -70,6 +71,11 @@ type Config struct {
 	// substrate (DMA engines, PCIe links, VEOS). Nil — the default — means
 	// no injection and zero overhead; see internal/faults and docs/FAULTS.md.
 	Faults *faults.Plan
+	// Telemetry attaches a continuous-telemetry collector shared by every
+	// HAM runtime on the machine (host and VE sides), so time series, SLO
+	// accounting and causal flows cover the whole application. Nil — the
+	// default — records nothing; see internal/telemetry and docs/TELEMETRY.md.
+	Telemetry *telemetry.Collector
 }
 
 // Machine is one simulated SX-Aurora node: engine, fabric, host memory and
@@ -111,6 +117,9 @@ func newWithEngine(eng *simtime.Engine, prefix string, cfg Config) (*Machine, er
 	}
 	if cfg.Faults != nil {
 		timing.Faults = faults.New(cfg.Faults)
+	}
+	if cfg.Telemetry != nil {
+		timing.Telemetry = cfg.Telemetry
 	}
 	if err := timing.Validate(); err != nil {
 		return nil, err
@@ -223,6 +232,7 @@ func ConnectVEO(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	}
 	rt := core.NewRuntime(b, "x86_64-vh")
 	rt.SetTracer(m.Timing.Tracer.Node(0, "veob", p))
+	rt.SetTelemetry(m.Timing.Telemetry, p)
 	rt.SetFaultTolerance(opts.Retry)
 	rt.SetBatching(opts.Batch)
 	return rt, nil
@@ -244,6 +254,7 @@ func ConnectDMA(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	}
 	rt := core.NewRuntime(b, "x86_64-vh")
 	rt.SetTracer(m.Timing.Tracer.Node(0, "dmab", p))
+	rt.SetTelemetry(m.Timing.Telemetry, p)
 	rt.SetFaultTolerance(opts.Retry)
 	rt.SetBatching(opts.Batch)
 	return rt, nil

@@ -1,0 +1,91 @@
+package machine_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hamoffload/internal/simtime"
+	"hamoffload/internal/telemetry"
+	"hamoffload/internal/topology"
+	"hamoffload/internal/trace"
+	"hamoffload/machine"
+	"hamoffload/offload"
+)
+
+// Zero-cost guard for the telemetry integration at the machine level: a
+// collector with flows disarmed does only host-side bookkeeping, so the
+// simulated run — every span and its final time — must be bit-identical to
+// the same run without a collector. (Arming flows adds 12 wire bytes per
+// message and is a deliberate, deterministic timing change; that case is
+// covered by the determinism tests in bench.)
+
+// telemetryRun executes a small traced DMA workload — sync offloads plus a
+// batch — and returns the Chrome trace bytes and the final simulated time.
+func telemetryRun(t *testing.T, col *telemetry.Collector) ([]byte, simtime.Time) {
+	t.Helper()
+	tr := trace.NewTracer()
+	timing := topology.DefaultTiming()
+	timing.Tracer = tr
+	m, err := machine.New(machine.Config{VEs: 1, Timing: &timing, Telemetry: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final simtime.Time
+	err = m.RunMain(func(p *machine.Proc) error {
+		rt, cerr := machine.ConnectDMA(p, m, machine.ProtocolOptions{
+			Batch: offload.BatchPolicy{MaxMessages: 4},
+		})
+		if cerr != nil {
+			return cerr
+		}
+		defer func() { _ = rt.Finalize() }()
+		for i := 0; i < 4; i++ {
+			if _, err := offload.Sync(rt, 1, mtEmpty.Bind()); err != nil {
+				return err
+			}
+		}
+		b := offload.NewBatcher(rt)
+		var futs []*offload.Future[offload.Unit]
+		for i := 0; i < 4; i++ {
+			futs = append(futs, offload.BatchAdd(b, 1, mtEmpty.Bind()))
+		}
+		b.FlushAll()
+		if _, err := offload.GetAll(futs); err != nil {
+			return err
+		}
+		final = p.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome bytes.Buffer
+	if err := tr.ExportChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	return chrome.Bytes(), final
+}
+
+func TestTelemetryDisarmedIsZeroCost(t *testing.T) {
+	baseChrome, baseFinal := telemetryRun(t, nil)
+	col := telemetry.New(telemetry.Config{})
+	telChrome, telFinal := telemetryRun(t, col)
+	if baseFinal != telFinal {
+		t.Fatalf("final simulated time changed: %v without telemetry, %v with a disarmed collector",
+			baseFinal, telFinal)
+	}
+	if !bytes.Equal(baseChrome, telChrome) {
+		t.Fatal("Chrome trace differs with a disarmed collector attached")
+	}
+	// The disarmed collector must still have observed the run on the host
+	// side: latencies and in-flight gauges, but no flow events.
+	if rep := col.SLOReport(); rep.N == 0 {
+		t.Fatal("disarmed collector observed no offload latencies")
+	}
+	if n := len(col.FlowEvents()); n != 0 {
+		t.Fatalf("disarmed collector recorded %d flow events, want 0", n)
+	}
+	if len(col.Series()) == 0 {
+		t.Fatal("disarmed collector recorded no series")
+	}
+}

@@ -172,6 +172,7 @@ func MapFutures[R any](s *Scheduler, n int, gen func(task int) core.Functor[R]) 
 	for task := 0; task < n; task++ {
 		i := s.place(task)
 		f := core.BatchAdd(b, s.nodes[i], gen(task))
+		s.rt.NotePlacement(s.pol.Name(), s.nodes[i])
 		s.inflight[i]++
 		s.issued++
 		f.OnSettle(func() {
