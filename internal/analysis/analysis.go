@@ -73,16 +73,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// allowIndex records, per file and line, the analyzer names suppressed by
-// //lint:allow comments. A comment suppresses findings on its own line and,
-// when it stands alone, on the line directly below it.
-type allowIndex map[string]map[int][]string
+// An AllowEntry is one //lint:allow directive found in a loaded file. The
+// same entry is indexed on both lines it applies to, so suppressing a
+// finding on either marks the directive used.
+type AllowEntry struct {
+	// Name is the analyzer the directive suppresses, or "all".
+	Name string
+	// Pos locates the comment itself.
+	Pos token.Position
+	// Used reports whether the directive suppressed at least one finding
+	// during this run.
+	Used bool
+}
+
+// allowIndex records, per file and line, the //lint:allow entries in force.
+// A comment suppresses findings on its own line and, when it stands alone,
+// on the line directly below it.
+type allowIndex map[string]map[int][]*AllowEntry
 
 // buildAllowIndex scans the files of a package for //lint:allow comments.
 // The first word after "lint:allow" is the analyzer name (or "all"); the
-// rest of the comment is a free-form justification.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+// rest of the comment is a free-form justification. It returns the line
+// index plus the distinct entries in source order.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []*AllowEntry) {
 	idx := allowIndex{}
+	var entries []*AllowEntry
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -98,28 +113,103 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				pos := fset.Position(c.Slash)
 				lines := idx[pos.Filename]
 				if lines == nil {
-					lines = map[int][]string{}
+					lines = map[int][]*AllowEntry{}
 					idx[pos.Filename] = lines
 				}
+				e := &AllowEntry{Name: fields[0], Pos: pos}
+				entries = append(entries, e)
 				// Apply to the comment's own line (trailing comment) and to
 				// the line after its comment group (comment block above the
 				// offending statement, possibly spanning several lines).
-				lines[pos.Line] = append(lines[pos.Line], fields[0])
+				lines[pos.Line] = append(lines[pos.Line], e)
 				end := fset.Position(cg.End()).Line
-				lines[end+1] = append(lines[end+1], fields[0])
+				lines[end+1] = append(lines[end+1], e)
 			}
 		}
 	}
-	return idx
+	return idx, entries
 }
 
 func (idx allowIndex) allows(d Diagnostic) bool {
-	for _, name := range idx[d.Pos.Filename][d.Pos.Line] {
-		if name == d.Analyzer || name == "all" {
+	for _, e := range idx[d.Pos.Filename][d.Pos.Line] {
+		// `all` does not cover allowcheck: a stale blanket directive would
+		// otherwise suppress its own staleness report. Opting out of
+		// allowcheck takes an explicit //lint:allow allowcheck.
+		if e.Name == d.Analyzer || (e.Name == "all" && d.Analyzer != "allowcheck") {
+			e.Used = true
 			return true
 		}
 	}
 	return false
+}
+
+// An AllowTracker accumulates every //lint:allow directive seen across one
+// lint invocation and whether each suppressed a finding, so the allowcheck
+// pass can report the stale ones. Pass the same tracker to RunTracked for
+// every package and to RunModuleTracked; a nil tracker disables tracking.
+type AllowTracker struct {
+	selected map[string]bool
+	full     bool
+	byPkg    map[string]allowIndex
+	entries  []*AllowEntry
+}
+
+// NewAllowTracker returns a tracker for a run executing the named analyzers.
+// full marks a whole-suite run: only then can an `all` directive be judged
+// stale, since a partial run might have skipped the analyzer it suppresses.
+func NewAllowTracker(selected []string, full bool) *AllowTracker {
+	t := &AllowTracker{
+		selected: map[string]bool{},
+		full:     full,
+		byPkg:    map[string]allowIndex{},
+	}
+	for _, name := range selected {
+		t.selected[name] = true
+	}
+	return t
+}
+
+// indexFor returns (building once) the package's allow index, registering
+// its entries with the tracker.
+func (t *AllowTracker) indexFor(pkg *Package) allowIndex {
+	if idx, ok := t.byPkg[pkg.Path]; ok {
+		return idx
+	}
+	idx, entries := buildAllowIndex(pkg.Fset, pkg.Files)
+	t.byPkg[pkg.Path] = idx
+	t.entries = append(t.entries, entries...)
+	return idx
+}
+
+// Stale returns the directives that could not have suppressed anything: the
+// analyzer they name ran in this invocation, yet no finding was suppressed.
+// Directives naming analyzers outside the run are skipped — absence of
+// findings proves nothing when the check did not execute — as are `all`
+// directives on partial runs. Entries come back in source order.
+func (t *AllowTracker) Stale() []*AllowEntry {
+	var out []*AllowEntry
+	for _, e := range t.entries {
+		if e.Used {
+			continue
+		}
+		if e.Name == "all" {
+			if t.full {
+				out = append(out, e)
+			}
+			continue
+		}
+		if t.selected[e.Name] {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
 }
 
 // Run applies the analyzers that the applies predicate selects for the
@@ -127,7 +217,19 @@ func (idx allowIndex) allows(d Diagnostic) bool {
 // runs every analyzer. //lint:allow suppressions are honoured here so every
 // entry point (hamlint, tests) treats them identically.
 func Run(pkg *Package, analyzers []*Analyzer, applies func(analyzer, pkgPath string) bool) ([]Diagnostic, error) {
-	idx := buildAllowIndex(pkg.Fset, pkg.Files)
+	return RunTracked(pkg, analyzers, applies, nil)
+}
+
+// RunTracked is Run with //lint:allow usage recorded in tracker (which may
+// be nil). hamlint uses it so the allowcheck pass can see which directives
+// suppressed nothing across the whole invocation.
+func RunTracked(pkg *Package, analyzers []*Analyzer, applies func(analyzer, pkgPath string) bool, tracker *AllowTracker) ([]Diagnostic, error) {
+	var idx allowIndex
+	if tracker != nil {
+		idx = tracker.indexFor(pkg)
+	} else {
+		idx, _ = buildAllowIndex(pkg.Fset, pkg.Files)
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		if a.Run == nil {
@@ -187,8 +289,21 @@ type ModulePass struct {
 	// everything applies). Module passes consult it to pick their source
 	// packages; RunModule itself is never skipped by it.
 	Applies func(analyzer, pkgPath string) bool
+	// Allows is the invocation-wide //lint:allow tracker, when the driver
+	// runs with one (RunModuleTracked). The allowcheck pass reads it; it is
+	// nil under plain RunModule.
+	Allows *AllowTracker
 
 	diags []Diagnostic
+}
+
+// ReportAt records a module-wide finding at an already-resolved position.
+func (p *ModulePass) ReportAt(pos token.Position, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records a module-wide finding at pos.
@@ -207,6 +322,15 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 // excludes for the analyzer is dropped — the same scoping rule the
 // per-package phase enforces.
 func RunModule(pkgs []*Package, analyzers []*Analyzer, applies func(analyzer, pkgPath string) bool) ([]Diagnostic, error) {
+	return RunModuleTracked(pkgs, analyzers, applies, nil)
+}
+
+// RunModuleTracked is RunModule with //lint:allow usage recorded in tracker
+// (which may be nil) and the tracker exposed to the passes via
+// ModulePass.Allows. Analyzers whose module phase consumes the tracker
+// (allowcheck) must come after the ones whose findings it counts, so run
+// them last in the suite.
+func RunModuleTracked(pkgs []*Package, analyzers []*Analyzer, applies func(analyzer, pkgPath string) bool, tracker *AllowTracker) ([]Diagnostic, error) {
 	if len(pkgs) == 0 {
 		return nil, nil
 	}
@@ -214,7 +338,13 @@ func RunModule(pkgs []*Package, analyzers []*Analyzer, applies func(analyzer, pk
 	idx := allowIndex{}
 	fileOwner := map[string]string{} // filename → import path
 	for _, pkg := range pkgs {
-		for file, lines := range buildAllowIndex(pkg.Fset, pkg.Files) {
+		var pkgIdx allowIndex
+		if tracker != nil {
+			pkgIdx = tracker.indexFor(pkg)
+		} else {
+			pkgIdx, _ = buildAllowIndex(pkg.Fset, pkg.Files)
+		}
+		for file, lines := range pkgIdx {
 			if idx[file] == nil {
 				idx[file] = lines
 				continue
@@ -233,7 +363,7 @@ func RunModule(pkgs []*Package, analyzers []*Analyzer, applies func(analyzer, pk
 		if a.RunModule == nil {
 			continue
 		}
-		pass := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, Applies: applies}
+		pass := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, Applies: applies, Allows: tracker}
 		if err := a.RunModule(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s (module pass): %w", a.Name, err)
 		}

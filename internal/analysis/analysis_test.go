@@ -50,7 +50,10 @@ func g() {}
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := buildAllowIndex(fset, []*ast.File{f})
+	idx, entries := buildAllowIndex(fset, []*ast.File{f})
+	if len(entries) != 2 {
+		t.Fatalf("buildAllowIndex found %d entries, want 2", len(entries))
+	}
 	cases := []struct {
 		line     int
 		analyzer string

@@ -256,6 +256,24 @@ func (g *Graph) PathTo(from *Node, sink func(*Node) bool, through func(*Node) bo
 	return nil
 }
 
+// An ImplTable answers "which named types implement this interface?"
+// queries over the loaded packages, caching per (interface, method name).
+// It backs the CHA resolution here and is exported for other
+// interprocedural analyzers (hotalloc) that resolve interface calls with
+// the same class-hierarchy assumption.
+type ImplTable = implTable
+
+// NewImplTable collects every non-interface named type declared in pkgs.
+func NewImplTable(pkgs []*analysis.Package) *ImplTable {
+	return implementers(pkgs)
+}
+
+// Methods returns, for every collected type implementing iface (by value or
+// by pointer receiver), its method corresponding to the interface method m.
+func (t *implTable) Methods(iface *types.Interface, m *types.Func) []*types.Func {
+	return t.methods(iface, m)
+}
+
 // implTable answers "which named types implement this interface?" queries
 // over the loaded packages, caching per (interface, method name).
 type implTable struct {

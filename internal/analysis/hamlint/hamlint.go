@@ -12,9 +12,11 @@ import (
 	"hamoffload/internal/analysis"
 	"hamoffload/internal/analysis/acqrel"
 	"hamoffload/internal/analysis/afterfree"
+	"hamoffload/internal/analysis/allowcheck"
 	"hamoffload/internal/analysis/detmap"
 	"hamoffload/internal/analysis/flagorder"
 	"hamoffload/internal/analysis/goroutine"
+	"hamoffload/internal/analysis/hotalloc"
 	"hamoffload/internal/analysis/spanend"
 	"hamoffload/internal/analysis/unitcast"
 	"hamoffload/internal/analysis/walltime"
@@ -22,7 +24,9 @@ import (
 
 // Suite returns the full analyzer set, in the order findings are grouped.
 // Adding an analyzer here is the single registration step; policy scoping
-// lives in analysis.Applies and docs in docs/LINTING.md.
+// lives in analysis.Applies and docs in docs/LINTING.md. allowcheck must
+// stay last: it consumes the //lint:allow usage every earlier analyzer
+// recorded.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		walltime.Analyzer,
@@ -33,7 +37,26 @@ func Suite() []*analysis.Analyzer {
 		flagorder.Analyzer,
 		acqrel.Analyzer,
 		afterfree.Analyzer,
+		hotalloc.Analyzer,
+		allowcheck.Analyzer,
 	}
+}
+
+// A ListEntry describes one registered analyzer for -list output.
+type ListEntry struct {
+	Name       string `json:"name"`
+	Doc        string `json:"doc"`
+	ModuleWide bool   `json:"module_wide"`
+}
+
+// List returns the registered analyzers in suite order, the machine-facing
+// counterpart of Suite for `hamlint -list -json`.
+func List() []ListEntry {
+	var out []ListEntry
+	for _, a := range Suite() {
+		out = append(out, ListEntry{Name: a.Name, Doc: a.Doc, ModuleWide: a.RunModule != nil})
+	}
+	return out
 }
 
 // Options configures one Main run.
@@ -41,6 +64,10 @@ type Options struct {
 	// JSON switches the output from file:line:col: [analyzer] message lines
 	// to a single sorted JSON array of findings.
 	JSON bool
+	// Run restricts the run to the named analyzers (suite order is kept
+	// regardless of the order given here). Empty means the full suite. An
+	// unknown name is a usage error: exit 2.
+	Run []string
 }
 
 // jsonDiag is the stable wire shape of one finding in -json mode.
@@ -56,8 +83,37 @@ type jsonDiag struct {
 // per-package passes plus the module-wide interprocedural passes — under the
 // scoping policy, and writes findings to out. It returns the process exit
 // code: 0 clean, 1 findings, 2 load failure (including an empty package
-// set, which almost always means a mistyped pattern).
+// set, which almost always means a mistyped pattern) or an unknown -run
+// name.
 func Main(dir string, patterns []string, out io.Writer, opts Options) int {
+	suite := Suite()
+	if len(opts.Run) > 0 {
+		known := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			known[a.Name] = a
+		}
+		want := map[string]bool{}
+		for _, name := range opts.Run {
+			if known[name] == nil {
+				fmt.Fprintf(out, "hamlint: unknown analyzer %q in -run (use -list for the registered set)\n", name)
+				return 2
+			}
+			want[name] = true
+		}
+		var selected []*analysis.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+		suite = selected
+	}
+	names := make([]string, 0, len(suite))
+	for _, a := range suite {
+		names = append(names, a.Name)
+	}
+	tracker := analysis.NewAllowTracker(names, len(opts.Run) == 0)
+
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(out, "hamlint: %v\n", err)
@@ -67,17 +123,16 @@ func Main(dir string, patterns []string, out io.Writer, opts Options) int {
 		fmt.Fprintf(out, "hamlint: patterns %v matched no packages; nothing was checked (mistyped pattern?)\n", patterns)
 		return 2
 	}
-	suite := Suite()
 	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, suite, analysis.Applies)
+		diags, err := analysis.RunTracked(pkg, suite, analysis.Applies, tracker)
 		if err != nil {
 			fmt.Fprintf(out, "hamlint: %v\n", err)
 			return 2
 		}
 		all = append(all, diags...)
 	}
-	moduleDiags, err := analysis.RunModule(pkgs, suite, analysis.Applies)
+	moduleDiags, err := analysis.RunModuleTracked(pkgs, suite, analysis.Applies, tracker)
 	if err != nil {
 		fmt.Fprintf(out, "hamlint: %v\n", err)
 		return 2

@@ -16,7 +16,7 @@ import (
 func TestSuiteRegistration(t *testing.T) {
 	want := []string{
 		"walltime", "spanend", "detmap", "goroutine", "unitcast",
-		"flagorder", "acqrel", "afterfree",
+		"flagorder", "acqrel", "afterfree", "hotalloc", "allowcheck",
 	}
 	var got []string
 	moduleRunners := 0
@@ -66,6 +66,55 @@ func TestEmptyPackageSet(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "matched no packages") {
 		t.Errorf("empty package set message = %q, want it to say 'matched no packages'", buf.String())
+	}
+}
+
+// TestRunSelection pins the -run contract: a known subset runs clean over a
+// clean package, and an unknown name is a usage error (exit 2) naming the
+// bad analyzer rather than a silent no-op run.
+func TestRunSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads real packages")
+	}
+	var buf bytes.Buffer
+	code := hamlint.Main(".", []string{"hamoffload/internal/backend/slots"}, &buf,
+		hamlint.Options{Run: []string{"walltime", "flagorder"}})
+	if code != 0 {
+		t.Fatalf("-run walltime,flagorder on slots: exit %d\n%s", code, buf.String())
+	}
+	buf.Reset()
+	code = hamlint.Main(".", []string{"hamoffload/internal/backend/slots"}, &buf,
+		hamlint.Options{Run: []string{"nosuchanalyzer"}})
+	if code != 2 {
+		t.Fatalf("unknown -run name: exit %d, want 2\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "nosuchanalyzer") {
+		t.Errorf("unknown -run message %q does not name the bad analyzer", buf.String())
+	}
+}
+
+// TestList pins the -list -json shape: one entry per registered analyzer,
+// suite order, with the module-wide flag set for the interprocedural ones.
+func TestList(t *testing.T) {
+	entries := hamlint.List()
+	suite := hamlint.Suite()
+	if len(entries) != len(suite) {
+		t.Fatalf("List() has %d entries, Suite() has %d", len(entries), len(suite))
+	}
+	for i, e := range entries {
+		if e.Name != suite[i].Name {
+			t.Errorf("List()[%d] = %s, want %s", i, e.Name, suite[i].Name)
+		}
+		if e.ModuleWide != (suite[i].RunModule != nil) {
+			t.Errorf("List()[%d].ModuleWide = %v, disagrees with Suite", i, e.ModuleWide)
+		}
+	}
+	data, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatalf("List() must marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"module_wide":true`) {
+		t.Error("no module-wide analyzer in List() output; walltime and hotalloc should be")
 	}
 }
 

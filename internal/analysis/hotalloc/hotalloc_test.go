@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/analysistest"
+	"hamoffload/internal/analysis/hotalloc"
+)
+
+// TestFixtures drives the module pass over the rule fixture with a nil
+// scoping predicate, so every finding in the fixture package is in scope.
+func TestFixtures(t *testing.T) {
+	analysistest.RunModule(t, hotalloc.Analyzer, nil, "hotallocfix")
+}

@@ -98,6 +98,47 @@ var afterfreeExempt = []string{
 	"hamoffload/internal/mem",
 }
 
+// hotPathScoped are the packages whose code can appear on an offload or
+// engine hot path: the runtime core, the DES engine, the wire codec, the
+// flag protocol and the simulated transfer backends. hotalloc reports only
+// inside these packages — a hot root may call out into neutral packages
+// (trace, telemetry) but findings there are dropped, because those calls
+// are either pruned behind armed guards or sanctioned observability cost.
+var hotPathScoped = []string{
+	"hamoffload/internal/core",
+	"hamoffload/internal/simtime",
+	"hamoffload/internal/ham",
+	"hamoffload/internal/backend/slots",
+	"hamoffload/internal/backend/dmab",
+	"hamoffload/internal/backend/veob",
+	"hamoffload/internal/dma",
+}
+
+// HotPathRoots declares the hot-path entry points centrally, by the exact
+// full function name (types.Func.FullName). Functions may equivalently
+// carry a //hot:path marker in their doc comment; the policy list exists so
+// the core entry points are visible in one place. hotalloc walks everything
+// reachable from a root, pruning branches behind armed-observability and
+// error guards, and reports heap allocations with the full call chain.
+var HotPathRoots = []string{
+	"(*hamoffload/internal/core.Runtime).Dispatch",
+	"(*hamoffload/internal/simtime.Engine).Run",
+	"hamoffload/internal/backend/slots.Encode",
+	"hamoffload/internal/backend/slots.Decode",
+}
+
+// ArmedGuardTypes are the observability handle types whose nil checks mark
+// the armed/disarmed fork of a hot path: `if tr == nil { ... }` bodies are
+// the disarmed fast path (walked; a trailing return prunes the armed
+// remainder), `if tr != nil { ... }` bodies are armed-only (skipped), and
+// calls on an armed receiver are not traversed. Listed by the full name of
+// the pointee type; the guard expressions are pointers to these.
+var ArmedGuardTypes = []string{
+	"hamoffload/internal/trace.Tracer",
+	"hamoffload/internal/trace.NodeTracer",
+	"hamoffload/internal/telemetry.Collector",
+}
+
 // WallClockSanctioned lists the packages allowed to touch the wall clock:
 // the wall-clock backends plus trace's explicit WallClock bridge. The
 // interprocedural walltime pass stops its call-graph traversal at these
@@ -138,8 +179,42 @@ func Applies(analyzer, pkgPath string) bool {
 		return !inAny(pkgPath, acqrelExempt)
 	case "afterfree":
 		return !inAny(pkgPath, afterfreeExempt)
+	case "hotalloc":
+		return inAny(pkgPath, hotPathScoped)
+	case "allowcheck":
+		return true
 	}
 	return true
+}
+
+// PolicyExempt lists the packages deliberately outside every scoping table:
+// neutral orchestration and tooling that only the universal analyzers
+// (spanend, unitcast, acqrel, afterfree) cover. The policy-coverage test
+// fails when a package is neither matched by a table nor listed here, so a
+// new package cannot land unclassified.
+var PolicyExempt = []string{
+	"hamoffload",                   // top-level façade re-exporting the public API
+	"hamoffload/offload",           // user-facing offload API over internal/core
+	"hamoffload/machine",           // cluster assembly; bridges simulated and host worlds
+	"hamoffload/cmd/hamlint",       // the lint driver itself
+	"hamoffload/examples",          // demo programs, free to use either clock
+	"hamoffload/internal/analysis", // the analyzers and their fixtures
+}
+
+// CoveredByPolicy reports whether pkgPath is matched by at least one scoping
+// table above. The policy-coverage meta-test asserts every non-test package
+// is either covered or explicitly in PolicyExempt.
+func CoveredByPolicy(pkgPath string) bool {
+	for _, table := range [][]string{
+		desPackages, wallClockPackages, goroutineExtra,
+		deterministicOutputPackages, unitcastExempt, flagOrderPackages,
+		acqrelExempt, afterfreeExempt, hotPathScoped,
+	} {
+		if inAny(pkgPath, table) {
+			return true
+		}
+	}
+	return false
 }
 
 // inAny reports whether path equals one of the roots or lies beneath one.

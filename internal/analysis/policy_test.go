@@ -55,6 +55,29 @@ func TestPolicyScoping(t *testing.T) {
 	}
 }
 
+// TestPolicyCoversModule is the coverage meta-test: every non-test package
+// in the module must be matched by at least one scoping table or stand in
+// PolicyExempt with a reason. A new package that is neither fails here, so
+// nothing lands with an unconsidered lint posture.
+func TestPolicyCoversModule(t *testing.T) {
+	out, err := exec.Command("go", "list", "hamoffload/...").Output()
+	if err != nil {
+		t.Fatalf("go list hamoffload/...: %v", err)
+	}
+	for _, pkg := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if !CoveredByPolicy(pkg) && !InAny(pkg, PolicyExempt) {
+			t.Errorf("package %s is matched by no scoping table and is not in PolicyExempt; classify it in internal/analysis/policy.go", pkg)
+		}
+	}
+	// The exempt list must stay minimal: an entry that a scoping table now
+	// covers, or that no longer resolves to a package, is stale.
+	for _, root := range PolicyExempt {
+		if CoveredByPolicy(root) {
+			t.Errorf("PolicyExempt entry %q is already matched by a scoping table; remove it", root)
+		}
+	}
+}
+
 // TestPolicyRootsExist keeps the scoping tables honest across refactors:
 // every path the policy names must still resolve to at least one package in
 // the module, or the protection silently evaporates on a rename.

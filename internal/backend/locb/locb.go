@@ -241,7 +241,10 @@ func (b *Node) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 	}
 	b.calls++
 	defer b.nt.Begin(trace.PhaseCall, "locb-call", b.calls)()
-	req := request{msg: msg, resp: make(chan []byte, 1)}
+	// Call must not retain msg past return (it may alias the initiator's
+	// scratch buffers); the serving goroutine reads it asynchronously, so it
+	// gets its own copy.
+	req := request{msg: append([]byte(nil), msg...), resp: make(chan []byte, 1)}
 	b.chans[target] <- req
 	return &handle{resp: req.resp, target: target}, nil
 }
@@ -319,7 +322,9 @@ func (b *Node) Serve(s core.Server) error {
 		b.nt.Since(trace.PhasePoll, "locb-recv", served, pollStart)
 		resp := s.Dispatch(req.msg)
 		endResult := b.nt.Begin(trace.PhaseResult, "locb-result", served)
-		req.resp <- resp
+		// The response is only valid until the next Dispatch on s; the
+		// initiator consumes it asynchronously, so it ships as a copy.
+		req.resp <- append([]byte(nil), resp...)
 		endResult()
 	}
 	return nil

@@ -224,10 +224,13 @@ func (h *Host) Call(target core.NodeID, msg []byte) (core.Handle, error) {
 		return h.local.Call(local, msg)
 	}
 	h.seqs++
+	// The proxy rank reads the request after the simulated IB transfer, long
+	// after Call returned; msg may alias the initiator's scratch buffers, so
+	// the forwarded request carries its own copy.
 	rq := &request{
 		kind:   reqCall,
 		target: local,
-		msg:    msg,
+		msg:    append([]byte(nil), msg...),
 		mid:    h.seqs,
 		done:   simtime.NewEvent(h.p.Engine()),
 	}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"hamoffload/internal/ham"
+)
+
+// Allocation guards for the zero-alloc hot paths that docs/LINTING.md's
+// hotalloc analyzer protects statically: the analyzer proves no *new*
+// allocation sites sneak onto the paths, these tests prove the existing
+// machinery (scratch codecs, frame arenas, the batchCall pool) really
+// reaches zero allocations per event at run time. The two must agree — a
+// regression in either fails the build.
+//
+// The argument and result values stay below 256 on purpose: the generic
+// codecs box them through `any`, and Go only guarantees allocation-free
+// boxing for small integers.
+
+var fnAllocInc = NewFunc1[int64]("test.allocinc",
+	func(_ *Ctx, v int64) (int64, error) { return v + 1, nil })
+
+// allocBackend is a synchronous in-process Backend stub: Call dispatches on
+// the target runtime immediately and Wait/Poll hand the response back. It
+// honours the Backend contract trivially — the message is fully consumed
+// (dispatched) before Call returns — and adds no allocations of its own.
+type allocBackend struct {
+	target *Runtime
+	resp   []byte
+}
+
+func (b *allocBackend) Self() NodeID  { return 0 }
+func (b *allocBackend) NumNodes() int { return 2 }
+func (b *allocBackend) Descriptor(NodeID) NodeDescriptor {
+	return NodeDescriptor{Name: "alloc-stub"}
+}
+
+func (b *allocBackend) Call(target NodeID, msg []byte) (Handle, error) {
+	b.resp = b.target.Dispatch(msg)
+	return b, nil
+}
+
+func (b *allocBackend) Wait(Handle) ([]byte, error)       { return b.resp, nil }
+func (b *allocBackend) Poll(Handle) ([]byte, bool, error) { return b.resp, true, nil }
+func (b *allocBackend) Put(NodeID, []byte, uint64) error  { return nil }
+func (b *allocBackend) Get(NodeID, uint64, []byte) error  { return nil }
+func (b *allocBackend) Serve(Server) error                { return nil }
+func (b *allocBackend) Memory() LocalMemory               { return nil }
+func (b *allocBackend) ChargeVector(int64, int64, int)    {}
+func (b *allocBackend) ChargeScalar(int64)                {}
+func (b *allocBackend) Close() error                      { return nil }
+
+// TestDispatchZeroAlloc pins the un-armed target fast path — Dispatch of a
+// bare HAM message with tracing, telemetry, FT and batching all off — at
+// exactly zero allocations per message. This is the path every simulated
+// event crosses, so a single allocation here multiplies by the event count
+// of a benchmark run.
+func TestDispatchZeroAlloc(t *testing.T) {
+	bk := &allocBackend{}
+	rt := NewRuntime(bk, "alloc-arch-dispatch")
+	bk.target = rt
+
+	fn := fnAllocInc.Bind(41)
+	msg, err := rt.bin.EncodeRequest(fn.name, fn.payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		resp = rt.Dispatch(msg)
+	})
+	v, err := func() (int64, error) {
+		dec, err := ham.DecodeResponse(resp)
+		if err != nil {
+			return 0, err
+		}
+		return fn.decode(dec)
+	}()
+	if err != nil || v != 42 {
+		t.Fatalf("dispatch result = %d, %v; want 42, nil", v, err)
+	}
+	if allocs != 0 {
+		t.Errorf("un-armed Dispatch allocates %.1f times per message; the fast path is contractually zero-alloc (see docs/LINTING.md)", allocs)
+	}
+}
+
+// TestBatchFlushZeroAlloc pins the batch flush-and-settle cycle — frame
+// arena stamp, backend post, target-side batch dispatch, response split,
+// future settlement, batchCall recycling — at zero allocations once warm.
+// The queue is refilled by hand exactly as BatchAdd would fill it, because
+// BatchAdd's one future per offload is an intentional, allowed allocation
+// and would drown the signal this test watches.
+func TestBatchFlushZeroAlloc(t *testing.T) {
+	tbk := &allocBackend{}
+	target := NewRuntime(tbk, "alloc-arch-batch-t")
+	tbk.target = target
+	hbk := &allocBackend{target: target}
+	host := NewRuntime(hbk, "alloc-arch-batch-h")
+	host.SetBatching(BatchPolicy{MaxMessages: 8})
+
+	b := NewBatcher(host)
+	q := b.queue(1)
+	fn := fnAllocInc.Bind(41)
+	wire, err := host.bin.EncodeRequest(fn.name, fn.payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fu1 := &Future[int64]{rt: host, decode: fn.decode}
+	fu2 := &Future[int64]{rt: host, decode: fn.decode}
+
+	var gotV int64
+	var gotErr error
+	cycle := func() {
+		// Rewind the two futures and queue them as BatchAdd would.
+		fu1.done, fu1.val, fu1.err = false, 0, nil
+		fu2.done, fu2.val, fu2.err = false, 0, nil
+		fu1.btv = batchTicket{b: b, q: q}
+		fu2.btv = batchTicket{b: b, q: q}
+		fu1.bt, fu2.bt = &fu1.btv, &fu2.btv
+		q.putEntry(wire)
+		q.putEntry(wire)
+		q.pds = append(q.pds, nil, nil)
+		q.sinks = append(q.sinks, fu1, fu2)
+		q.tks = append(q.tks, fu1.bt, fu2.bt)
+		q.fids = append(q.fids, 0, 0)
+		b.flushQueue(q)
+		gotV, gotErr = fu1.Get()
+		fu2.Get()
+	}
+	// One explicit warm cycle (besides AllocsPerRun's own) grows every
+	// scratch buffer and fills the batchCall pool.
+	cycle()
+	if gotErr != nil || gotV != 42 {
+		t.Fatalf("batched result = %d, %v; want 42, nil", gotV, gotErr)
+	}
+	allocs := testing.AllocsPerRun(100, cycle)
+	if gotErr != nil || gotV != 42 {
+		t.Fatalf("batched result = %d, %v; want 42, nil", gotV, gotErr)
+	}
+	if allocs != 0 {
+		t.Errorf("batch flush+settle allocates %.1f times per frame; the warm cycle is contractually zero-alloc (see docs/LINTING.md)", allocs)
+	}
+}

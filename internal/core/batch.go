@@ -58,31 +58,39 @@ func sealBatch(msgs [][]byte) []byte {
 // framing — truncated entry, trailing bytes, absurd count — returns
 // isBatch = true and an ErrPayloadCorrupt error.
 func openBatch(msg []byte) (msgs [][]byte, isBatch bool, err error) {
+	return openBatchInto(nil, msg)
+}
+
+// openBatchInto is openBatch appending the entries to dst, so steady-state
+// frame splitting can reuse one scratch slice instead of allocating an entry
+// list per frame. On a framing error dst is returned (possibly partially
+// filled) so the caller keeps its scratch capacity.
+func openBatchInto(dst [][]byte, msg []byte) (msgs [][]byte, isBatch bool, err error) {
 	if len(msg) < batHeader || binary.LittleEndian.Uint32(msg[0:4]) != batMagic {
 		return nil, false, nil
 	}
 	count := int(binary.LittleEndian.Uint32(msg[4:8]))
 	rest := msg[batHeader:]
 	if count <= 0 || count > len(rest) {
-		return nil, true, fmt.Errorf("%w: batch frame count %d for %d payload bytes",
+		return dst, true, fmt.Errorf("%w: batch frame count %d for %d payload bytes", //lint:allow hotalloc corrupt-frame path: runs at most once per rejected frame
 			ErrPayloadCorrupt, count, len(rest))
 	}
-	msgs = make([][]byte, 0, count)
+	msgs = dst
 	for i := 0; i < count; i++ {
 		if len(rest) < batPerMsg {
-			return nil, true, fmt.Errorf("%w: batch entry %d truncated", ErrPayloadCorrupt, i)
+			return msgs, true, fmt.Errorf("%w: batch entry %d truncated", ErrPayloadCorrupt, i) //lint:allow hotalloc corrupt-frame path: runs at most once per rejected frame
 		}
 		l := int(binary.LittleEndian.Uint32(rest[:batPerMsg]))
 		rest = rest[batPerMsg:]
 		if l < 0 || l > len(rest) {
-			return nil, true, fmt.Errorf("%w: batch entry %d claims %d of %d bytes",
+			return msgs, true, fmt.Errorf("%w: batch entry %d claims %d of %d bytes", //lint:allow hotalloc corrupt-frame path: runs at most once per rejected frame
 				ErrPayloadCorrupt, i, l, len(rest))
 		}
-		msgs = append(msgs, rest[:l])
+		msgs = append(msgs, rest[:l]) //lint:allow hotalloc amortized growth of the caller's entry scratch
 		rest = rest[l:]
 	}
 	if len(rest) != 0 {
-		return nil, true, fmt.Errorf("%w: %d trailing bytes after batch", ErrPayloadCorrupt, len(rest))
+		return msgs, true, fmt.Errorf("%w: %d trailing bytes after batch", ErrPayloadCorrupt, len(rest)) //lint:allow hotalloc corrupt-frame path: runs at most once per rejected frame
 	}
 	return msgs, true, nil
 }
@@ -158,22 +166,40 @@ type Batcher struct {
 // NewBatcher creates a batcher over rt's backend and policy.
 func NewBatcher(rt *Runtime) *Batcher { return &Batcher{rt: rt} }
 
-// batchQueue accumulates one node's pending frame.
+// batchQueue accumulates one node's pending frame. The frame is built as it
+// queues: each added message is copied into the frame arena behind its
+// length prefix, so a flush only stamps the header and posts the arena —
+// no per-flush assembly, and the queue never retains the (scratch-backed)
+// wire bytes it was handed.
 type batchQueue struct {
 	node     NodeID
-	msgs     [][]byte       // per-message wire bytes (FT-enveloped when armed)
+	frame    []byte         // the wire frame under construction: header + entries
+	count    int            // messages queued in frame
 	pds      []*pending     // per-message FT state, nil entries with FT off
-	sinks    []settler      // futures awaiting the frame, parallel to msgs
-	tks      []*batchTicket // tickets to rebind at flush, parallel to msgs
+	sinks    []settler      // futures awaiting the frame, parallel to entries
+	tks      []*batchTicket // tickets to rebind at flush, parallel to entries
 	fids     []uint64       // per-message causal trace IDs, 0 without flows
-	bytes    int            // wire size of the frame so far
 	firstAdd simtime.Time   // clock at first queued message (deadline basis)
 	timed    bool           // firstAdd is valid
 }
 
+// putEntry copies one wire message into the frame arena.
+func (q *batchQueue) putEntry(wire []byte) {
+	var l [batPerMsg]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(wire)))
+	q.frame = append(q.frame, l[:]...) //lint:allow hotalloc amortized growth of the frame arena (covers both appends)
+	q.frame = append(q.frame, wire...)
+	q.count++
+}
+
+// reset clears the queue for the next frame, keeping the arena and the
+// ticket/trace-ID capacity. pds and sinks are NOT touched here: flushQueue
+// hands their backing arrays to the batchCall and replaces them.
 func (q *batchQueue) reset() {
-	q.msgs, q.pds, q.sinks, q.tks, q.fids = nil, nil, nil, nil, nil
-	q.bytes = batHeader
+	q.frame = q.frame[:batHeader]
+	q.count = 0
+	q.tks = q.tks[:0]
+	q.fids = q.fids[:0]
 	q.timed = false
 }
 
@@ -184,7 +210,7 @@ func (b *Batcher) queue(node NodeID) *batchQueue {
 			return q
 		}
 	}
-	q := &batchQueue{node: node, bytes: batHeader}
+	q := &batchQueue{node: node, frame: make([]byte, batHeader)} //lint:allow hotalloc one queue per target node, created on first use and reused forever
 	b.queues = append(b.queues, q)
 	return q
 }
@@ -206,7 +232,7 @@ func (b *Batcher) frameCap() int {
 func (b *Batcher) Pending(node NodeID) int {
 	for _, q := range b.queues {
 		if q.node == node {
-			return len(q.msgs)
+			return q.count
 		}
 	}
 	return 0
@@ -244,28 +270,30 @@ func (b *Batcher) deadlineDue(q *batchQueue) bool {
 // the frame's futures blocks in Get. With batching disabled it is exactly
 // Async. (A package-level function because Go methods cannot introduce the
 // result type parameter.)
+//
+//hot:path
 func BatchAdd[R any](b *Batcher, node NodeID, fn Functor[R]) *Future[R] {
 	rt := b.rt
 	if !rt.batch.Enabled() {
 		return Async(rt, node, fn)
 	}
 	endOff := rt.beginOffload(node, fn.name)
-	failed := func(err error) *Future[R] {
-		f := &Future[R]{rt: rt, onDone: endOff}
-		f.fail(err)
-		return f
-	}
 	if node == rt.ThisNode() {
-		return failed(fmt.Errorf("core: offload to self (node %d) is not supported", node))
+		return failedFuture[R](rt, endOff, errOffloadSelf(node))
 	}
 	if int(node) < 0 || int(node) >= rt.NumNodes() {
-		return failed(fmt.Errorf("core: no node %d in this application (%d nodes)", node, rt.NumNodes()))
+		return failedFuture[R](rt, endOff, errNoNode(node, rt.NumNodes()))
 	}
-	endEnc := rt.tr.Begin(trace.PhaseEncode, "encode "+fn.name, rt.offloads+1)
+	var endEnc func()
+	if rt.tr != nil {
+		endEnc = rt.tr.Begin(trace.PhaseEncode, "encode "+fn.name, rt.offloads+1)
+	}
 	msg, err := rt.bin.EncodeRequest(fn.name, fn.payload)
-	endEnc()
+	if endEnc != nil {
+		endEnc()
+	}
 	if err != nil {
-		return failed(err)
+		return failedFuture[R](rt, endOff, err)
 	}
 	rt.offloads++
 	wire, pd := rt.seal(node, msg)
@@ -276,29 +304,29 @@ func BatchAdd[R any](b *Batcher, node NodeID, fn Functor[R]) *Future[R] {
 	// if this message would overflow it. A message too large for any frame
 	// still goes out (as a batch of one) and draws the backend's own
 	// size error, like an unbatched oversized Call would.
-	if len(q.msgs) > 0 && q.bytes+batPerMsg+len(wire) > b.frameCap() {
+	if q.count > 0 && len(q.frame)+batPerMsg+len(wire) > b.frameCap() {
 		b.flushQueue(q)
 	}
 	if b.deadlineDue(q) {
 		b.flushQueue(q)
 	}
-	tk := &batchTicket{b: b, q: q}
-	f := &Future[R]{rt: rt, decode: fn.decode, onDone: endOff, bt: tk}
+	f := &Future[R]{rt: rt, decode: fn.decode, onDone: endOff} //lint:allow hotalloc one future per offload is the API contract
+	f.btv = batchTicket{b: b, q: q}
+	f.bt = &f.btv
 	if !q.timed {
 		if clk, ok := rt.backend.(simClock); ok {
 			q.firstAdd, q.timed = clk.SimNow(), true
 		}
 	}
-	q.msgs = append(q.msgs, wire)
-	q.pds = append(q.pds, pd)
-	q.sinks = append(q.sinks, f)
-	q.tks = append(q.tks, tk)
+	q.putEntry(wire)
+	q.pds = append(q.pds, pd)    //lint:allow hotalloc amortized: backing array cycles through the batchCall pool
+	q.sinks = append(q.sinks, f) //lint:allow hotalloc amortized: backing array cycles through the batchCall pool
+	q.tks = append(q.tks, f.bt)  //lint:allow hotalloc amortized growth of the queue's ticket list
 	q.fids = append(q.fids, fid)
-	q.bytes += batPerMsg + len(wire)
 	if rt.tel != nil {
-		rt.tel.Gauge(int(node), telemetry.SeriesQueue, rt.telNow(), int64(len(q.msgs)))
+		rt.tel.Gauge(int(node), telemetry.SeriesQueue, rt.telNow(), int64(q.count))
 	}
-	if len(q.msgs) >= rt.batch.messages() || q.bytes >= b.frameCap() {
+	if q.count >= rt.batch.messages() || len(q.frame) >= b.frameCap() {
 		b.flushQueue(q)
 	}
 	return f
@@ -317,23 +345,30 @@ func AsyncBatch[R any](rt *Runtime, node NodeID, fns []Functor[R]) []*Future[R] 
 	return futs
 }
 
-// flushQueue seals q's contents into one frame, posts it, and rebinds the
-// queued futures to the in-flight batchCall.
+// flushQueue stamps the header onto q's frame arena, posts it, and rebinds
+// the queued futures to the in-flight batchCall.
+//
+//hot:path
 func (b *Batcher) flushQueue(q *batchQueue) {
-	if len(q.msgs) == 0 {
+	if q.count == 0 {
 		return
 	}
 	rt := b.rt
-	frame := sealBatch(q.msgs)
-	endBatch := rt.tr.Begin(trace.PhaseBatch,
-		fmt.Sprintf("batch flush node %d x%d", q.node, len(q.msgs)), rt.offloads)
-	rt.tr.Count("batch.flushes", 1)
-	rt.tr.Count("batch.messages", int64(len(q.msgs)))
+	frame := q.frame
+	binary.LittleEndian.PutUint32(frame[0:4], batMagic)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(q.count))
+	var endBatch func()
+	if rt.tr != nil {
+		endBatch = rt.tr.Begin(trace.PhaseBatch,
+			fmt.Sprintf("batch flush node %d x%d", q.node, q.count), rt.offloads)
+		rt.tr.Count("batch.flushes", 1)
+		rt.tr.Count("batch.messages", int64(q.count))
+	}
 	if rt.tel != nil {
 		now := rt.telNow()
-		rt.tel.Add(int(q.node), telemetry.SeriesOccupancy, now, int64(len(q.msgs)))
+		rt.tel.Add(int(q.node), telemetry.SeriesOccupancy, now, int64(q.count))
 		rt.tel.Gauge(int(q.node), telemetry.SeriesQueue, now, 0)
-		label := fmt.Sprintf("x%d", len(q.msgs))
+		label := fmt.Sprintf("x%d", q.count)
 		for _, fid := range q.fids {
 			rt.tel.Event(fid, now, int(rt.ThisNode()), telemetry.FlowFlush, label)
 		}
@@ -342,16 +377,31 @@ func (b *Batcher) flushQueue(q *batchQueue) {
 	if rt.ft.enabled() {
 		// The frame retransmits as a unit; the sub-envelopes' sequence
 		// numbers make re-execution safe, so the frame reuses the first
-		// entry's seq (and first trace ID) for bookkeeping and labels.
-		fpd = &pending{node: q.node, msg: frame, seq: q.pds[0].seq, fid: q.fids[0]}
+		// entry's seq (and first trace ID) for bookkeeping and labels. The
+		// arena is reset below, so retransmission needs its own stable copy
+		// of the frame.
+		fpd = &pending{ //lint:allow hotalloc retransmission state must outlive the flush
+			node: q.node,
+			msg:  append([]byte(nil), frame...), //lint:allow hotalloc retransmission needs a stable copy of the scratch-backed frame
+			seq:  q.pds[0].seq,
+			fid:  q.fids[0],
+		}
 	}
-	bc := &batchCall{rt: rt, fpd: fpd, pds: q.pds, sinks: q.sinks}
+	// The batchCall takes ownership of the pds and sinks arrays; the queue
+	// continues on the recycled call's arrays (nil on the first flush), so
+	// post-flush appends can never clobber the in-flight call's view.
+	bc := rt.takeBatchCall()
+	bc.fpd = fpd
+	bc.pds, q.pds = q.pds, bc.pds[:0]
+	bc.sinks, q.sinks = q.sinks, bc.sinks[:0]
 	rt.noteSent(q.node, len(frame))
 	h, err := rt.backend.Call(q.node, frame)
 	if err != nil && rt.canRetry(fpd, err) {
 		h, err = rt.resubmit(fpd)
 	}
-	endBatch()
+	if endBatch != nil {
+		endBatch()
+	}
 	for _, tk := range q.tks {
 		tk.bc, tk.q = bc, nil
 	}
@@ -382,6 +432,11 @@ func (tk *batchTicket) ensureFlushed() {
 // all its futures. The whole frame retries as a unit under the runtime's
 // fault-tolerance policy; the target answers retransmitted entries from
 // its dedup window, so handlers still run at most once.
+//
+// Completed calls recycle through the runtime's single-slot pool
+// (takeBatchCall): once deliver or failAll has settled every sink, the
+// futures short-circuit on their own done flag and never touch the call
+// again, so its arrays are free to back the next frame.
 type batchCall struct {
 	rt    *Runtime
 	h     Handle
@@ -389,7 +444,27 @@ type batchCall struct {
 	pds   []*pending // per-entry envelope state, nil entries with FT off
 	sinks []settler
 	done  bool
+
+	// deliver scratch, reused across retries and pool cycles.
+	subs     [][]byte
+	payloads [][]byte
 }
+
+// takeBatchCall returns a batchCall for the next flush, recycling the last
+// completed one when available.
+func (rt *Runtime) takeBatchCall() *batchCall {
+	bc := rt.freeBC
+	if bc == nil {
+		return &batchCall{rt: rt} //lint:allow hotalloc pool miss: one call object per concurrently in-flight frame
+	}
+	rt.freeBC = nil
+	bc.h, bc.fpd, bc.done = nil, nil, false
+	return bc
+}
+
+// recycle parks the completed call for reuse. Callers must have settled
+// every sink first.
+func (bc *batchCall) recycle() { bc.rt.freeBC = bc }
 
 // resolve blocks until the frame completes and settles every future.
 func (bc *batchCall) resolve() {
@@ -449,7 +524,8 @@ func (bc *batchCall) poll() {
 // the response was not batch-framed under FT, the entry count is off, or
 // an entry failed envelope validation.
 func (bc *batchCall) deliver(resp []byte) error {
-	subs, isBatch, err := openBatch(resp)
+	subs, isBatch, err := openBatchInto(bc.subs[:0], resp)
+	bc.subs = subs
 	if !isBatch {
 		if bc.fpd != nil {
 			return fmt.Errorf("%w: batch response not framed", ErrPayloadCorrupt)
@@ -461,6 +537,7 @@ func (bc *batchCall) deliver(resp []byte) error {
 			s.settle(resp)
 		}
 		bc.done = true
+		bc.recycle()
 		return nil
 	}
 	if err != nil {
@@ -473,18 +550,21 @@ func (bc *batchCall) deliver(resp []byte) error {
 	// Validate every entry before settling any, so a single corrupt entry
 	// retries the frame instead of splitting it into settled and lost
 	// halves. The dedup window answers the already-executed entries.
-	payloads := make([][]byte, len(subs))
+	payloads := bc.payloads[:0]
 	for i, sub := range subs {
 		p, err := bc.rt.openResponse(bc.pds[i], sub)
 		if err != nil {
+			bc.payloads = payloads
 			return err
 		}
-		payloads[i] = p
+		payloads = append(payloads, p)
 	}
+	bc.payloads = payloads
 	for i, s := range bc.sinks {
 		s.settle(payloads[i])
 	}
 	bc.done = true
+	bc.recycle()
 	return nil
 }
 
@@ -494,24 +574,46 @@ func (bc *batchCall) failAll(err error) {
 		s.fail(err)
 	}
 	bc.done = true
+	bc.recycle()
 }
 
 // dispatchBatch executes one batch frame on the target: every entry runs
 // through the normal Dispatch path (FT validation, dedup, handler), so
 // errors stay isolated per entry, and the responses return as one frame.
 // A frame with broken framing draws a plain failure response.
+//
+// The response frame is built incrementally in the runtime's arena: each
+// entry's response is copied in before the next entry dispatches, because a
+// Dispatch response is only valid until the next Dispatch (it may alias the
+// binary's scratch encoder). The arena is stolen for the duration, so a
+// nested batch entry builds its frame in a fresh buffer.
 func (rt *Runtime) dispatchBatch(subs [][]byte, berr error) []byte {
 	if berr != nil {
 		rt.tr.Instant(trace.PhaseFault, "corrupt batch frame", rt.executed)
 		rt.tr.Count("dispatch.batch.corrupt", 1)
 		return ham.EncodeFailure(berr.Error())
 	}
-	end := rt.tr.Begin(trace.PhaseBatch, fmt.Sprintf("batch x%d", len(subs)), rt.executed+1)
-	rt.tr.Count("dispatch.batches", 1)
-	resps := make([][]byte, len(subs))
-	for i, m := range subs {
-		resps[i] = rt.Dispatch(m)
+	var end func()
+	if rt.tr != nil {
+		end = rt.tr.Begin(trace.PhaseBatch, fmt.Sprintf("batch x%d", len(subs)), rt.executed+1)
+		rt.tr.Count("dispatch.batches", 1)
 	}
-	end()
-	return sealBatch(resps)
+	frame := rt.batchScratch[:0]
+	rt.batchScratch = nil
+	var hdr [batHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], batMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(subs)))
+	frame = append(frame, hdr[:]...) //lint:allow hotalloc amortized growth of the response-frame arena
+	for _, m := range subs {
+		resp := rt.Dispatch(m)
+		var l [batPerMsg]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(resp)))
+		frame = append(frame, l[:]...) //lint:allow hotalloc amortized growth of the response-frame arena (covers both appends)
+		frame = append(frame, resp...)
+	}
+	if end != nil {
+		end()
+	}
+	rt.batchScratch = frame
+	return frame
 }

@@ -59,7 +59,11 @@ type Backend interface {
 	Descriptor(n NodeID) NodeDescriptor
 
 	// Call posts an active message to the target node and returns a handle
-	// for result retrieval.
+	// for result retrieval. msg may alias a runtime scratch buffer: the
+	// backend may read it for the duration of the call (including any parks
+	// on a simulated clock) but must not retain it after Call returns —
+	// implementations that hand the message to another goroutine or defer
+	// the transfer must copy it first.
 	Call(target NodeID, msg []byte) (Handle, error)
 	// Wait blocks until the response for h arrives and returns it.
 	Wait(h Handle) ([]byte, error)
@@ -90,7 +94,11 @@ type Backend interface {
 
 // Server is what a Backend's Serve loop drives; the Runtime implements it.
 type Server interface {
-	// Dispatch executes one wire message and returns the wire response.
+	// Dispatch executes one wire message and returns the wire response. The
+	// response may alias the server's scratch buffers and is only valid
+	// until the next Dispatch call on this server: serve loops must copy or
+	// fully consume it (write it to the transport) before dispatching the
+	// next message.
 	Dispatch(msg []byte) []byte
 	// Done reports whether a terminate message has been executed.
 	Done() bool
@@ -128,6 +136,18 @@ type Runtime struct {
 	curFlow  uint64
 	lastFlow uint64
 	inflight map[NodeID]int64
+
+	// Hot-path scratch (see docs/LINTING.md, hotalloc). ctx is the one
+	// execution context handed to every handler; respDec settles futures
+	// without a per-response decoder; batchScratch is the arena a batch
+	// response frame is built in (stolen for the duration of a dispatch so
+	// nested frames fall back to fresh buffers); subsScratch backs batch
+	// frame splitting the same way; freeBC recycles the per-flush batchCall.
+	ctx          Ctx
+	respDec      ham.Decoder
+	batchScratch []byte
+	subsScratch  [][]byte
+	freeBC       *batchCall
 }
 
 // NewRuntime creates the runtime for one node. arch labels this node's
@@ -136,7 +156,9 @@ type Runtime struct {
 // differing code layouts, and all message/function registration must happen
 // before the first NewRuntime of the application.
 func NewRuntime(b Backend, arch string) *Runtime {
-	return &Runtime{backend: b, bin: ham.NewBinary(arch)}
+	rt := &Runtime{backend: b, bin: ham.NewBinary(arch)}
+	rt.ctx.rt = rt
+	return rt
 }
 
 // Backend returns the node's communication backend.
@@ -186,14 +208,25 @@ func (rt *Runtime) Executed() int64 { return rt.executed }
 //
 // Batch frames (see batch.go) unpack here too: each entry re-enters
 // Dispatch individually, so enveloping and dedup compose with batching.
+//
+// The returned response may alias per-runtime scratch buffers; it is valid
+// only until the next Dispatch on this runtime (see Server).
 func (rt *Runtime) Dispatch(msg []byte) []byte {
 	if fid, inner, ok := openFlow(msg); ok {
 		rt.noteExecute(fid, inner)
 		msg = inner
 	}
-	if subs, isBatch, berr := openBatch(msg); isBatch {
-		return rt.dispatchBatch(subs, berr)
+	// The split scratch is stolen for the duration of the batch dispatch so
+	// a (hostile) nested batch entry splits into a fresh slice instead of
+	// corrupting the outer frame's entry list.
+	scratch := rt.subsScratch
+	rt.subsScratch = nil
+	if subs, isBatch, berr := openBatchInto(scratch[:0], msg); isBatch {
+		resp := rt.dispatchBatch(subs, berr)
+		rt.subsScratch = subs[:0]
+		return resp
 	}
+	rt.subsScratch = scratch
 	_, seq, payload, enveloped, cerr := openMessage(msg)
 	if !enveloped {
 		return rt.dispatchRaw(msg)
@@ -284,16 +317,23 @@ func (rt *Runtime) beginOffload(node NodeID, name string) func() {
 // tolerance enabled the message is sealed in a checksummed envelope and the
 // returned pending carries the retransmission state; transient failures of
 // the post itself are retried here.
+//
+//hot:path
 func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder)) (Handle, *pending, error) {
 	if node == rt.ThisNode() {
-		return nil, nil, fmt.Errorf("core: offload to self (node %d) is not supported", node)
+		return nil, nil, errOffloadSelf(node)
 	}
 	if int(node) < 0 || int(node) >= rt.NumNodes() {
-		return nil, nil, fmt.Errorf("core: no node %d in this application (%d nodes)", node, rt.NumNodes())
+		return nil, nil, errNoNode(node, rt.NumNodes())
 	}
-	endEnc := rt.tr.Begin(trace.PhaseEncode, "encode "+name, rt.offloads+1)
+	var endEnc func()
+	if rt.tr != nil {
+		endEnc = rt.tr.Begin(trace.PhaseEncode, "encode "+name, rt.offloads+1)
+	}
 	msg, err := rt.bin.EncodeRequest(name, payload)
-	endEnc()
+	if endEnc != nil {
+		endEnc()
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -309,6 +349,19 @@ func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder
 		return nil, nil, err
 	}
 	return h, pd, nil
+}
+
+// errOffloadSelf and errNoNode render the target-validation failures; split
+// out of callAsync so the successful offload path carries no formatting.
+//
+//hot:cold
+func errOffloadSelf(node NodeID) error {
+	return fmt.Errorf("core: offload to self (node %d) is not supported", node)
+}
+
+//hot:cold
+func errNoNode(node NodeID, n int) error {
+	return fmt.Errorf("core: no node %d in this application (%d nodes)", node, n)
 }
 
 // callSync posts the message and waits for its response payload.

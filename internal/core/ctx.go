@@ -9,7 +9,10 @@ type Ctx struct {
 	rt *Runtime
 }
 
-func ctxOf(env any) *Ctx { return &Ctx{rt: env.(*Runtime)} }
+// ctxOf returns the runtime's embedded context: handlers run strictly
+// sequentially on their runtime, so one cached Ctx serves every dispatch
+// without a per-call allocation.
+func ctxOf(env any) *Ctx { return &env.(*Runtime).ctx }
 
 // Runtime returns the target-side runtime.
 func (c *Ctx) Runtime() *Runtime { return c.rt }

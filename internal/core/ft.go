@@ -90,7 +90,7 @@ func (rt *Runtime) seal(node NodeID, msg []byte) ([]byte, *pending) {
 	if !rt.ft.enabled() {
 		return msg, nil
 	}
-	pd := &pending{node: node, seq: rt.nextSeq()}
+	pd := &pending{node: node, seq: rt.nextSeq()} //lint:allow hotalloc retransmission state must outlive the offload
 	pd.msg = sealMessage(envRequest, pd.seq, msg)
 	return pd.msg, pd
 }
@@ -110,7 +110,10 @@ func (rt *Runtime) noteTimeout(err error) {
 }
 
 // resubmit backs off and re-posts pd, consuming one retry. It keeps
-// consuming budget while the re-post itself fails transiently.
+// consuming budget while the re-post itself fails transiently. Only faulted
+// offloads come through here, so its label formatting is off the hot path.
+//
+//hot:cold
 func (rt *Runtime) resubmit(pd *pending) (Handle, error) {
 	for {
 		pd.attempt++

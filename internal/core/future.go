@@ -13,8 +13,10 @@ type Future[T any] struct {
 
 	// bt, when set, marks this future as one entry of a batch frame (see
 	// batch.go): resolution goes through the shared batchCall instead of a
-	// private backend handle.
-	bt *batchTicket
+	// private backend handle. btv is the ticket's storage, embedded so a
+	// batched future needs no second allocation; bt points at btv.
+	bt  *batchTicket
+	btv batchTicket
 
 	// onDone, when set, fires exactly once as the future settles or fails;
 	// the runtime uses it to close the offload lifecycle span.
@@ -111,7 +113,10 @@ func (f *Future[T]) settle(resp []byte) {
 		return
 	}
 	f.done = true
-	dec, err := ham.DecodeResponse(resp)
+	// Settling is strictly sequential per runtime, so the runtime's scratch
+	// decoder serves every future; decoded slices and strings are copied out
+	// by the Decoder accessors, so nothing aliases the scratch afterwards.
+	dec, err := ham.DecodeResponseInto(&f.rt.respDec, resp)
 	if err != nil {
 		f.err = err
 		f.fireDone()
@@ -130,11 +135,21 @@ func (f *Future[T]) fireDone() {
 
 // newFuture wires a backend handle to a result decoder.
 func newFuture[T any](rt *Runtime, h Handle, decode func(*ham.Decoder) (T, error)) *Future[T] {
-	return &Future[T]{rt: rt, h: h, decode: decode}
+	return &Future[T]{rt: rt, h: h, decode: decode} //lint:allow hotalloc one future per offload is the API contract
 }
 
 // completedFuture wraps an already-finished operation, for the data-transfer
 // variants whose backends complete eagerly.
 func completedFuture[T any](val T, err error) *Future[T] {
 	return &Future[T]{done: true, val: val, err: err}
+}
+
+// failedFuture builds a future that failed before it was posted, closing the
+// offload span through onDone like a settled one would.
+//
+//hot:cold
+func failedFuture[T any](rt *Runtime, onDone func(), err error) *Future[T] {
+	f := &Future[T]{rt: rt, onDone: onDone}
+	f.fail(err)
+	return f
 }

@@ -23,7 +23,12 @@ type Encoder struct {
 }
 
 // NewEncoder returns an empty encoder.
-func NewEncoder() *Encoder { return &Encoder{} }
+//
+// EncodeRequest deliberately takes a fresh encoder per request rather than a
+// pooled one: the wire it produces is handed to Backend.Call, which may park
+// the proc before copying, so a shared scratch could be clobbered by another
+// host proc mid-call.
+func NewEncoder() *Encoder { return &Encoder{} } //lint:allow hotalloc fresh buffer per request: Call may park before copying the wire
 
 // Bytes returns the encoded payload.
 func (e *Encoder) Bytes() []byte { return e.buf }
@@ -35,7 +40,7 @@ func (e *Encoder) Len() int { return len(e.buf) }
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // PutU8 appends one byte.
-func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
+func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) } //lint:allow hotalloc amortized growth of the encoder buffer, reused via Reset
 
 // PutU32 appends a 32-bit word.
 func (e *Encoder) PutU32(v uint32) {
@@ -104,6 +109,11 @@ type Decoder struct {
 // NewDecoder wraps a payload for decoding.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
+// Reset re-targets the decoder at a new payload and clears any sticky error,
+// so one decoder can be reused across sequential messages without
+// reallocating.
+func (d *Decoder) Reset(buf []byte) { d.buf, d.off, d.err = buf, 0, nil }
+
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }
 
@@ -115,12 +125,21 @@ func (d *Decoder) take(n int) []byte {
 		return nil
 	}
 	if d.off+n > len(d.buf) {
-		d.err = fmt.Errorf("ham: decode underrun: need %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		d.err = underrunError(n, d.off, len(d.buf))
 		return nil
 	}
 	b := d.buf[d.off : d.off+n]
 	d.off += n
 	return b
+}
+
+// underrunError renders the sticky decode failure. It is split out of take
+// so the hot decode path only pays for the formatting when a message is
+// actually truncated.
+//
+//hot:cold
+func underrunError(need, off, total int) error {
+	return fmt.Errorf("ham: decode underrun: need %d bytes at offset %d of %d", need, off, total)
 }
 
 // U8 reads one byte.

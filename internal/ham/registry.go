@@ -60,6 +60,16 @@ type Binary struct {
 	byName  map[string]Key // name -> Key
 	byAddr  map[uint64]Key // local address -> Key (the sender-side table)
 	handler []Handler      // Key -> handler
+
+	// Dispatch scratch: one codec pair reused across sequential Dispatch
+	// calls, so steady-state message execution does not allocate. The busy
+	// flag hands re-entrant dispatches (a handler dispatching a nested
+	// message while parked mid-call) fresh codecs instead. Consequence for
+	// callers: the response returned by Dispatch aliases the scratch buffer
+	// and is only valid until the next Dispatch on this Binary.
+	dispDec Decoder
+	dispEnc Encoder
+	busy    bool
 }
 
 // NewBinary instantiates the current program for an architecture. Binaries
@@ -148,7 +158,7 @@ func (b *Binary) Count() int { return len(b.names) }
 func (b *Binary) KeyOf(name string) (Key, error) {
 	k, ok := b.byName[name]
 	if !ok {
-		return 0, fmt.Errorf("ham: message type %q not in binary %s", name, b.arch)
+		return 0, unknownTypeError(name, b.arch)
 	}
 	return k, nil
 }
@@ -156,7 +166,7 @@ func (b *Binary) KeyOf(name string) (Key, error) {
 // NameOf returns the message type name for a key.
 func (b *Binary) NameOf(k Key) (string, error) {
 	if int(k) >= len(b.names) {
-		return "", fmt.Errorf("ham: key %d out of range in binary %s", k, b.arch)
+		return "", keyRangeError(k, b.arch)
 	}
 	return b.names[k], nil
 }
@@ -165,7 +175,7 @@ func (b *Binary) NameOf(k Key) (string, error) {
 // O(1) receive-side translation of Fig. 6.
 func (b *Binary) AddrOf(k Key) (uint64, error) {
 	if int(k) >= len(b.addrs) {
-		return 0, fmt.Errorf("ham: key %d out of range in binary %s", k, b.arch)
+		return 0, keyRangeError(k, b.arch)
 	}
 	return b.addrs[k], nil
 }
@@ -175,19 +185,60 @@ func (b *Binary) AddrOf(k Key) (uint64, error) {
 func (b *Binary) KeyOfAddr(addr uint64) (Key, error) {
 	k, ok := b.byAddr[addr]
 	if !ok {
-		return 0, fmt.Errorf("ham: address %#x is not a message handler in binary %s", addr, b.arch)
+		return 0, unknownAddrError(addr, b.arch)
 	}
 	return k, nil
+}
+
+// Translation-failure errors only fire on unknown handlers — programming
+// errors, not traffic — so their formatting stays off the hot path.
+
+//hot:cold
+func unknownTypeError(name, arch string) error {
+	return fmt.Errorf("ham: message type %q not in binary %s", name, arch)
+}
+
+//hot:cold
+func keyRangeError(k Key, arch string) error {
+	return fmt.Errorf("ham: key %d out of range in binary %s", k, arch)
+}
+
+//hot:cold
+func unknownAddrError(addr uint64, arch string) error {
+	return fmt.Errorf("ham: address %#x is not a message handler in binary %s", addr, arch)
 }
 
 // Dispatch executes the message payload msg (key-prefixed wire format) and
 // returns the encoded response. It performs the generic-handler sequence of
 // §III-E: extract the key, translate it to the local handler address, call
 // the handler, which re-types the payload bytes back into the typed world.
+//
+// The returned response aliases the binary's scratch buffer: it is valid
+// only until the next Dispatch on this Binary, and callers that need it
+// longer must copy it.
 func (b *Binary) Dispatch(env any, msg []byte) []byte {
-	dec := NewDecoder(msg)
+	if b.busy {
+		return b.dispatchFresh(env, msg)
+	}
+	b.busy = true
+	defer b.endDispatch()
+	b.dispDec.Reset(msg)
+	b.dispEnc.Reset()
+	return b.dispatch(env, &b.dispDec, &b.dispEnc)
+}
+
+func (b *Binary) endDispatch() { b.busy = false }
+
+// dispatchFresh is the re-entrant fallback: a handler that dispatches a
+// nested message while the scratch pair is in use gets fresh codecs.
+//
+//hot:cold
+func (b *Binary) dispatchFresh(env any, msg []byte) []byte {
+	return b.dispatch(env, NewDecoder(msg), NewEncoder())
+}
+
+func (b *Binary) dispatch(env any, dec *Decoder, enc *Encoder) []byte {
 	key := Key(dec.U32())
-	enc := NewEncoder()
 	if dec.Err() != nil {
 		return encodeFailure(enc, fmt.Errorf("ham: truncated message: %v", dec.Err()))
 	}
@@ -268,17 +319,38 @@ func EncodeFailure(msg string) []byte {
 // DecodeResponse splits a response into its payload decoder or the remote
 // error it carries.
 func DecodeResponse(resp []byte) (*Decoder, error) {
-	dec := NewDecoder(resp)
-	switch st := dec.U8(); st {
+	return DecodeResponseInto(NewDecoder(resp), resp)
+}
+
+// DecodeResponseInto is DecodeResponse over a caller-owned decoder, so a
+// runtime settling many futures can amortize the decoder allocation with one
+// reusable scratch. On success the returned decoder is d itself, re-targeted
+// at the response payload.
+func DecodeResponseInto(d *Decoder, resp []byte) (*Decoder, error) {
+	d.Reset(resp)
+	switch st := d.U8(); st {
 	case statusOK:
-		return dec, nil
+		return d, nil
 	case statusFail:
-		msg := dec.String()
-		if err := dec.Err(); err != nil {
-			return nil, fmt.Errorf("ham: malformed failure response: %v", err)
-		}
-		return nil, fmt.Errorf("ham: remote execution failed: %s", msg)
+		return nil, remoteFailure(d)
 	default:
-		return nil, fmt.Errorf("ham: unknown response status %d", st)
+		return nil, unknownStatusError(st)
 	}
+}
+
+// remoteFailure renders the error string a failure response carries; only
+// failed offloads pay for the formatting.
+//
+//hot:cold
+func remoteFailure(d *Decoder) error {
+	msg := d.String()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("ham: malformed failure response: %v", err)
+	}
+	return fmt.Errorf("ham: remote execution failed: %s", msg)
+}
+
+//hot:cold
+func unknownStatusError(st uint8) error {
+	return fmt.Errorf("ham: unknown response status %d", st)
 }

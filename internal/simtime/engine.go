@@ -1,7 +1,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -41,22 +40,56 @@ type event struct {
 	rsn int
 }
 
+// eventQueue is a binary min-heap ordered by (at, seq). It is a concrete
+// heap rather than a container/heap adapter: the adapter's `any` interface
+// boxes every pushed event onto the Go heap, which dominated the simulator's
+// allocation profile. Pop order is unaffected by the change — (at, seq) is a
+// strict total order (seq is unique), so any correct heap pops the same
+// sequence.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev) //lint:allow hotalloc amortized growth of the engine's event heap
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	ev := h[0]
+	h[0] = h[n]
+	h[n] = event{} // release the waiter reference
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(r, c) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
 	return ev
 }
 
@@ -140,12 +173,14 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 }
 
 // schedule enqueues a wake for w at time at.
+//
+//hot:path
 func (e *Engine) schedule(at Time, w *waiter, rsn int) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.eq, event{at: at, seq: e.seq, w: w, rsn: rsn})
+	e.eq.push(event{at: at, seq: e.seq, w: w, rsn: rsn})
 	if len(e.eq) > e.maxq {
 		e.maxq = len(e.eq)
 	}
@@ -172,16 +207,16 @@ func (e *Engine) Run() error {
 		if len(e.eq) == 0 {
 			return e.deadlockError()
 		}
-		ev := heap.Pop(&e.eq).(event)
+		ev := e.eq.pop()
 		if ev.w.woken {
 			continue // stale wake (e.g. timeout lost to an Event fire)
 		}
 		if e.Deadline != 0 && ev.at > e.Deadline {
-			return fmt.Errorf("%w (at %v)", ErrDeadline, ev.at)
+			return deadlineError(ev.at)
 		}
 		e.events++
 		if e.events > maxEvents {
-			return fmt.Errorf("%w (%d events)", ErrEventLimit, maxEvents)
+			return limitError(maxEvents)
 		}
 		e.now = ev.at
 		ev.w.woken = true
@@ -206,6 +241,11 @@ func (e *Engine) Shutdown() {
 	}
 }
 
+// firstPanic scans for a panicked process. The scan itself runs after every
+// wake event, but only allocates (the fmt.Errorf) when a panic is actually
+// found, which aborts the run.
+//
+//hot:cold
 func (e *Engine) firstPanic() error {
 	for _, p := range e.procs {
 		if p.panicked != nil {
@@ -215,6 +255,21 @@ func (e *Engine) firstPanic() error {
 	return nil
 }
 
+// deadlineError terminates the run; it allocates once.
+//
+//hot:cold
+func deadlineError(at Time) error {
+	return fmt.Errorf("%w (at %v)", ErrDeadline, at)
+}
+
+// limitError terminates the run; it allocates once.
+//
+//hot:cold
+func limitError(maxEvents uint64) error {
+	return fmt.Errorf("%w (%d events)", ErrEventLimit, maxEvents)
+}
+
+//hot:cold
 func (e *Engine) deadlockError() error {
 	var stuck []string
 	for _, p := range e.procs {

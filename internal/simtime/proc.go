@@ -17,6 +17,24 @@ type Proc struct {
 	parked    bool
 	blockedOn string // human-readable label for deadlock diagnostics
 	panicked  any
+
+	// scratch is the reusable waiter for single-reference parks (Sleep,
+	// Queue.Pop, Event.Wait): exactly one pending wake references it, and
+	// that wake is consumed before the process resumes, so the next park can
+	// reuse it. Parks with two outstanding references — PopTimeout and
+	// WaitTimeout, where a timer and a wake list both hold the waiter and
+	// the loser stays behind as a stale entry — must allocate a fresh waiter
+	// instead.
+	scratch waiter
+}
+
+// singleWaiter re-arms the process's scratch waiter for a park whose wake
+// will be referenced from exactly one place. See the scratch field comment
+// for why double-referenced parks may not use it.
+func (p *Proc) singleWaiter() *waiter {
+	p.scratch.p = p
+	p.scratch.woken = false
+	return &p.scratch
 }
 
 // Name returns the name the process was spawned with.
@@ -43,12 +61,13 @@ func (p *Proc) park(label string) int {
 
 // Sleep suspends the process for d of simulated time. Non-positive durations
 // still yield to the scheduler (other events at the current time run first).
+//
+//hot:path
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	w := &waiter{p: p}
-	p.eng.schedule(p.eng.now.Add(d), w, reasonTimer)
+	p.eng.schedule(p.eng.now.Add(d), p.singleWaiter(), reasonTimer)
 	p.park("sleep")
 }
 
@@ -92,12 +111,13 @@ func (ev *Event) Fire() {
 }
 
 // Wait blocks p until the event fires. Returns immediately if already fired.
+// The only wake source for this park is Fire, which consumes the waiter list,
+// so the process's scratch waiter is safe here.
 func (ev *Event) Wait(p *Proc) {
 	if ev.fired {
 		return
 	}
-	w := &waiter{p: p}
-	ev.waiters = append(ev.waiters, w)
+	ev.waiters = append(ev.waiters, p.singleWaiter())
 	p.park("event")
 }
 

@@ -9,12 +9,18 @@ type Queue[T any] struct {
 	items   []T
 	head    int
 	waiters []*waiter
+
+	// Park labels are precomputed here so that the blocking paths do not
+	// rebuild "queue <name>" by string concatenation on every empty-queue
+	// park.
+	popLabel     string
+	timeoutLabel string
 }
 
 // NewQueue returns an empty queue bound to the engine. The name appears in
 // deadlock diagnostics.
 func NewQueue[T any](e *Engine, name string) *Queue[T] {
-	return &Queue[T]{eng: e, name: name}
+	return &Queue[T]{eng: e, name: name, popLabel: "queue " + name, timeoutLabel: "queue-timeout " + name}
 }
 
 // Len returns the number of queued items.
@@ -22,8 +28,10 @@ func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Push appends v and wakes one waiting consumer, if any. It may be called
 // from any running process (or before Run starts).
+//
+//hot:path
 func (q *Queue[T]) Push(v T) {
-	q.items = append(q.items, v)
+	q.items = append(q.items, v) //lint:allow hotalloc amortized growth of the queue's ring storage
 	q.wakeOne()
 }
 
@@ -39,19 +47,22 @@ func (q *Queue[T]) wakeOne() {
 }
 
 // Pop removes and returns the oldest item, blocking p while the queue is
-// empty.
+// empty. The waiter is only ever referenced from one place at a time — the
+// wait list until wakeOne transfers it to the engine's event heap, which
+// consumes it at resume — so the process's scratch waiter is safe here.
+//
+//hot:path
 func (q *Queue[T]) Pop(p *Proc) T {
 	for q.Len() == 0 {
-		w := &waiter{p: p}
-		q.waiters = append(q.waiters, w)
-		p.park("queue " + q.name)
+		q.waiters = append(q.waiters, p.singleWaiter()) //lint:allow hotalloc amortized growth of the wait list
+		p.park(q.popLabel)
 	}
 	v := q.items[q.head]
 	var zero T
 	q.items[q.head] = zero // release for GC
 	q.head++
 	if q.head > 64 && q.head*2 >= len(q.items) {
-		q.items = append([]T(nil), q.items[q.head:]...)
+		q.items = append([]T(nil), q.items[q.head:]...) //lint:allow hotalloc rare compaction: runs at most once per 64 pops
 		q.head = 0
 	}
 	// More items may remain and more waiters may be parked (a woken waiter
@@ -84,10 +95,13 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (T, bool) {
 			var zero T
 			return zero, false
 		}
+		// Double-referenced park (wait list and timer): must not use the
+		// scratch waiter — the losing reference stays behind as a stale
+		// entry and would see the scratch waiter's next incarnation.
 		w := &waiter{p: p}
 		q.waiters = append(q.waiters, w)
 		q.eng.schedule(deadline, w, reasonTimer)
-		if p.park("queue-timeout "+q.name) == reasonTimer && q.Len() == 0 {
+		if p.park(q.timeoutLabel) == reasonTimer && q.Len() == 0 {
 			var zero T
 			return zero, false
 		}
