@@ -1,14 +1,15 @@
 // Command hamlint runs the repository's invariant analyzers (walltime,
 // spanend, detmap, goroutine, unitcast, flagorder, acqrel, afterfree,
-// hotalloc, allowcheck) over the given packages. It is the lint half of
-// `make check`:
+// hotalloc, borrowck, allowcheck) over the given packages. It is the lint
+// half of `make check`:
 //
 //	go run ./cmd/hamlint ./...
 //
 // Findings print as file:line:col: [analyzer] message and make the command
 // exit 1; -json emits them as a sorted JSON array instead. -run restricts
 // the run to a comma-separated subset of analyzers; -list prints the
-// registered set (with -json, as a machine-readable array). Each analyzer's
+// registered set (with -json, as a machine-readable array); -stats appends
+// per-analyzer wall time and finding counts. Each analyzer's
 // contract — and the simulator invariant behind it — is documented in
 // docs/LINTING.md; a finding can be suppressed at the offending line with
 // `//lint:allow <analyzer> <justification>` (the allowcheck pass reports
@@ -29,8 +30,9 @@ func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings (or -list output) as a JSON array")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	stats := flag.Bool("stats", false, "append per-analyzer wall time and finding counts")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hamlint [-list] [-json] [-run a,b] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: hamlint [-list] [-json] [-run a,b] [-stats] [packages]\n\n"+
 			"Runs the hamoffload invariant analyzers over the packages\n"+
 			"(default ./...). See docs/LINTING.md.\n")
 		flag.PrintDefaults()
@@ -63,5 +65,5 @@ func main() {
 			}
 		}
 	}
-	os.Exit(hamlint.Main(".", patterns, os.Stdout, hamlint.Options{JSON: *jsonOut, Run: selected}))
+	os.Exit(hamlint.Main(".", patterns, os.Stdout, hamlint.Options{JSON: *jsonOut, Run: selected, Stats: *stats}))
 }

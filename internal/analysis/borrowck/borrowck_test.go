@@ -1,0 +1,19 @@
+package borrowck_test
+
+import (
+	"testing"
+
+	"hamoffload/internal/analysis/analysistest"
+	"hamoffload/internal/analysis/borrowck"
+)
+
+func TestBorrowck(t *testing.T) {
+	analysistest.RunModule(t, borrowck.Analyzer, nil, "borrowfix")
+}
+
+// TestBorrowckSolver pins the dataflow-solver corner cases: alias facts
+// across branch joins and loop back edges, one-arm vs. all-arm kills, alias
+// independence from the root fact, and defer discharge.
+func TestBorrowckSolver(t *testing.T) {
+	analysistest.RunModule(t, borrowck.Analyzer, nil, "borrowflow")
+}

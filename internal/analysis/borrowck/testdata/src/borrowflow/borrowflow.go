@@ -1,0 +1,79 @@
+// Package borrowflow exercises the dataflow-solver corner cases of borrowck:
+// alias facts crossing branch joins and loop back edges, kills that must (and
+// must not) survive the union join, independence of an alias's fact from its
+// root, and defer-discharged uses.
+package borrowflow
+
+type sink struct{ buf []byte }
+
+var global []byte
+
+// A reslice chain keeps the taint across multiple hops.
+//
+//ham:borrowed msg
+func resliceChain(s *sink, msg []byte) {
+	a := msg[4:]
+	b := a[2:10]
+	c := b[:4]
+	s.buf = c // want `borrowed buffer "msg" stored into struct field s\.buf`
+}
+
+// A kill on one branch does not clear the fact: the join is a union, so the
+// alias may still carry the borrow on the fall-through path.
+//
+//ham:borrowed msg
+func branchKill(s *sink, msg []byte, cond bool) {
+	x := msg[4:]
+	if cond {
+		x = make([]byte, 8)
+	}
+	s.buf = x // want `borrowed buffer "msg" stored into struct field s\.buf`
+}
+
+// A kill on every path does clear the fact at the join.
+//
+//ham:borrowed msg
+func fullKill(s *sink, msg []byte, cond bool) {
+	x := msg[4:]
+	if cond {
+		x = make([]byte, 8)
+	} else {
+		x = append([]byte(nil), x...)
+	}
+	s.buf = x
+}
+
+// An alias created inside a loop body escapes on the next iteration: the
+// fact must ride the back edge into the loop head.
+//
+//ham:borrowed msg
+func loopCarried(s *sink, msg []byte, n int) {
+	var x []byte
+	for i := 0; i < n; i++ {
+		s.buf = x // want `borrowed buffer "msg" stored into struct field s\.buf`
+		x = msg[i:]
+	}
+}
+
+// Reassigning an alias kills its fact without touching the root's.
+//
+//ham:borrowed msg
+func aliasReassign(s *sink, msg []byte) {
+	x := msg[4:]
+	x = []byte("owned")
+	s.buf = x
+	global = msg // want `borrowed buffer "msg" stored into package-level variable global`
+}
+
+// Deferred literals and calls discharge before the borrow window closes:
+// reads through them are quiet.
+//
+//ham:borrowed msg
+func deferredRead(msg []byte) (n int) {
+	defer func() { n += len(msg) }()
+	x := msg[:2]
+	defer consume(x)
+	return 0
+}
+
+func consume([]byte) {}

@@ -418,6 +418,130 @@ func TestForwardSolverLoop(t *testing.T) {
 	}
 }
 
+// taintProblem is a miniature of the borrowck engine over set-valued facts:
+// "borrow(x)" gens x, "alias(y, x)" copies x's fact to y, "own(x)" kills x.
+// Join is set union, so a fact killed on only one arm survives the join.
+func taintProblem(fset *token.FileSet) cfg.Problem[map[string]bool] {
+	arg := func(s, verb string) (string, string, bool) {
+		rest, ok := strings.CutPrefix(s, verb+"(")
+		if !ok {
+			return "", "", false
+		}
+		rest, _, _ = strings.Cut(rest, ")")
+		a, b, _ := strings.Cut(rest, ", ")
+		return a, b, true
+	}
+	return cfg.Problem[map[string]bool]{
+		Entry: map[string]bool{},
+		Transfer: func(b *cfg.Block, in map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(in))
+			for k := range in {
+				out[k] = true
+			}
+			for _, n := range b.Nodes {
+				s := render(fset, n)
+				if x, _, ok := arg(s, "borrow"); ok {
+					out[x] = true
+				}
+				if y, x, ok := arg(s, "alias"); ok {
+					if out[x] {
+						out[y] = true
+					} else {
+						delete(out, y)
+					}
+				}
+				if x, _, ok := arg(s, "own"); ok {
+					delete(out, x)
+				}
+			}
+			return out
+		},
+		Join: func(a, b map[string]bool) map[string]bool {
+			u := make(map[string]bool, len(a)+len(b))
+			for k := range a {
+				u[k] = true
+			}
+			for k := range b {
+				u[k] = true
+			}
+			return u
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// TestForwardSolverBranchKill checks union-join semantics for kills: a fact
+// killed on one arm survives the join; a fact killed on both arms does not.
+func TestForwardSolverBranchKill(t *testing.T) {
+	g, fset := build(t, `
+		borrow(x)
+		borrow(y)
+		if cond {
+			own(x)
+			own(y)
+		} else {
+			own(y)
+		}
+		tail()`)
+	res := cfg.Forward(g, taintProblem(fset))
+	in := res.In[blockWith(t, g, fset, "tail()")]
+	if !in["x"] {
+		t.Error("x is killed on only one arm: the union join must keep it")
+	}
+	if in["y"] {
+		t.Error("y is killed on every arm: it must not survive the join")
+	}
+}
+
+// TestForwardSolverAliasLoop checks that an alias fact created in a loop body
+// rides the back edge: on the second iteration the head sees the alias as
+// tainted even though the aliasing statement is below its first use.
+func TestForwardSolverAliasLoop(t *testing.T) {
+	g, fset := build(t, `
+		borrow(x)
+		for i := 0; i < n; i++ {
+			use(y)
+			alias(y, x)
+		}
+		tail()`)
+	res := cfg.Forward(g, taintProblem(fset))
+	if !res.In[blockWith(t, g, fset, "use(y)")]["y"] {
+		t.Error("the alias fact must flow around the back edge into the loop body")
+	}
+	if !res.In[blockWith(t, g, fset, "tail()")]["y"] {
+		t.Error("the alias fact must reach the loop exit")
+	}
+}
+
+// TestForwardSolverAliasKill checks that re-aliasing from an owned source
+// clears the destination's fact without touching the source chain.
+func TestForwardSolverAliasKill(t *testing.T) {
+	g, fset := build(t, `
+		borrow(x)
+		alias(y, x)
+		own(x)
+		alias(y, x)
+		tail()`)
+	res := cfg.Forward(g, taintProblem(fset))
+	in := res.In[blockWith(t, g, fset, "tail()")]
+	if in["y"] {
+		t.Error("re-aliasing y from the now-owned x must kill y's fact")
+	}
+	if in["x"] {
+		t.Error("x was owned and must stay untainted")
+	}
+}
+
 func TestFuncBodies(t *testing.T) {
 	src := `package p
 func a() { go func() { inner() }() }

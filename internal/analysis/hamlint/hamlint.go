@@ -8,11 +8,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"hamoffload/internal/analysis"
 	"hamoffload/internal/analysis/acqrel"
 	"hamoffload/internal/analysis/afterfree"
 	"hamoffload/internal/analysis/allowcheck"
+	"hamoffload/internal/analysis/borrowck"
 	"hamoffload/internal/analysis/detmap"
 	"hamoffload/internal/analysis/flagorder"
 	"hamoffload/internal/analysis/goroutine"
@@ -38,6 +40,7 @@ func Suite() []*analysis.Analyzer {
 		acqrel.Analyzer,
 		afterfree.Analyzer,
 		hotalloc.Analyzer,
+		borrowck.Analyzer,
 		allowcheck.Analyzer,
 	}
 }
@@ -68,6 +71,21 @@ type Options struct {
 	// regardless of the order given here). Empty means the full suite. An
 	// unknown name is a usage error: exit 2.
 	Run []string
+	// Stats appends per-analyzer wall time and finding counts to the output:
+	// a table in text mode, a {"findings":…,"stats":…} object in JSON mode.
+	// The module-wide passes dominate the runtime, so this is the first stop
+	// when iterating on the suite feels slow.
+	Stats bool
+}
+
+// An AnalyzerStat is one row of -stats output: how long an analyzer's passes
+// took (per-package and module phases combined) and how many findings
+// survived suppression and scoping.
+type AnalyzerStat struct {
+	Name     string `json:"name"`
+	Time     string `json:"time"`
+	Nanos    int64  `json:"ns"`
+	Findings int    `json:"findings"`
 }
 
 // jsonDiag is the stable wire shape of one finding in -json mode.
@@ -123,22 +141,43 @@ func Main(dir string, patterns []string, out io.Writer, opts Options) int {
 		fmt.Fprintf(out, "hamlint: patterns %v matched no packages; nothing was checked (mistyped pattern?)\n", patterns)
 		return 2
 	}
+	// Without -stats the suite runs batched; with it, one analyzer at a
+	// time so each one's wall time is attributable. The tracker, scoping
+	// and ordering semantics are identical either way — RunTracked and
+	// RunModuleTracked loop over the given analyzers independently.
+	elapsed := map[string]time.Duration{}
 	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunTracked(pkg, suite, analysis.Applies, tracker)
+		diags, err := runPerPkg(pkg, suite, tracker, opts.Stats, elapsed)
 		if err != nil {
 			fmt.Fprintf(out, "hamlint: %v\n", err)
 			return 2
 		}
 		all = append(all, diags...)
 	}
-	moduleDiags, err := analysis.RunModuleTracked(pkgs, suite, analysis.Applies, tracker)
+	moduleDiags, err := runModule(pkgs, suite, tracker, opts.Stats, elapsed)
 	if err != nil {
 		fmt.Fprintf(out, "hamlint: %v\n", err)
 		return 2
 	}
 	all = append(all, moduleDiags...)
 	analysis.SortDiagnostics(all)
+
+	var stats []AnalyzerStat
+	if opts.Stats {
+		counts := map[string]int{}
+		for _, d := range all {
+			counts[d.Analyzer]++
+		}
+		for _, a := range suite {
+			stats = append(stats, AnalyzerStat{
+				Name:     a.Name,
+				Time:     elapsed[a.Name].Round(time.Microsecond).String(),
+				Nanos:    elapsed[a.Name].Nanoseconds(),
+				Findings: counts[a.Name],
+			})
+		}
+	}
 
 	if opts.JSON {
 		jd := make([]jsonDiag, 0, len(all))
@@ -150,8 +189,17 @@ func Main(dir string, patterns []string, out io.Writer, opts Options) int {
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jd); err != nil {
-			fmt.Fprintf(out, "hamlint: %v\n", err)
+		var encErr error
+		if opts.Stats {
+			encErr = enc.Encode(struct {
+				Findings []jsonDiag     `json:"findings"`
+				Stats    []AnalyzerStat `json:"stats"`
+			}{jd, stats})
+		} else {
+			encErr = enc.Encode(jd)
+		}
+		if encErr != nil {
+			fmt.Fprintf(out, "hamlint: %v\n", encErr)
 			return 2
 		}
 		if len(all) > 0 {
@@ -163,9 +211,54 @@ func Main(dir string, patterns []string, out io.Writer, opts Options) int {
 	for _, d := range all {
 		fmt.Fprintln(out, d)
 	}
+	if opts.Stats {
+		fmt.Fprintf(out, "hamlint stats (%d package(s)):\n", len(pkgs))
+		for _, s := range stats {
+			fmt.Fprintf(out, "  %-10s %12s  %d finding(s)\n", s.Name, s.Time, s.Findings)
+		}
+	}
 	if len(all) > 0 {
 		fmt.Fprintf(out, "hamlint: %d issue(s); see docs/LINTING.md (//lint:allow <analyzer> <why> suppresses a finding)\n", len(all))
 		return 1
 	}
 	return 0
+}
+
+// runPerPkg runs the per-package phase over one package: batched normally,
+// analyzer-by-analyzer with timing when stats are requested.
+func runPerPkg(pkg *analysis.Package, suite []*analysis.Analyzer, tracker *analysis.AllowTracker, timed bool, elapsed map[string]time.Duration) ([]analysis.Diagnostic, error) {
+	if !timed {
+		return analysis.RunTracked(pkg, suite, analysis.Applies, tracker)
+	}
+	var all []analysis.Diagnostic
+	for _, a := range suite {
+		start := time.Now()
+		diags, err := analysis.RunTracked(pkg, []*analysis.Analyzer{a}, analysis.Applies, tracker)
+		elapsed[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// runModule runs the module-wide phase: batched normally, timed per analyzer
+// when stats are requested. Suite order is preserved so allowcheck still
+// consumes every earlier analyzer's //lint:allow usage.
+func runModule(pkgs []*analysis.Package, suite []*analysis.Analyzer, tracker *analysis.AllowTracker, timed bool, elapsed map[string]time.Duration) ([]analysis.Diagnostic, error) {
+	if !timed {
+		return analysis.RunModuleTracked(pkgs, suite, analysis.Applies, tracker)
+	}
+	var all []analysis.Diagnostic
+	for _, a := range suite {
+		start := time.Now()
+		diags, err := analysis.RunModuleTracked(pkgs, []*analysis.Analyzer{a}, analysis.Applies, tracker)
+		elapsed[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
 }

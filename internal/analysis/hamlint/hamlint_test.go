@@ -16,7 +16,8 @@ import (
 func TestSuiteRegistration(t *testing.T) {
 	want := []string{
 		"walltime", "spanend", "detmap", "goroutine", "unitcast",
-		"flagorder", "acqrel", "afterfree", "hotalloc", "allowcheck",
+		"flagorder", "acqrel", "afterfree", "hotalloc", "borrowck",
+		"allowcheck",
 	}
 	var got []string
 	moduleRunners := 0
@@ -142,5 +143,55 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if strings.TrimSpace(buf.String()) == "null" {
 		t.Error("-json must emit [] for a clean run, not null")
+	}
+}
+
+// TestStatsOutput runs one real package in -stats mode, text and JSON: every
+// registered analyzer must appear exactly once with a timing, and the JSON
+// form must carry both the findings array and the stats rows.
+func TestStatsOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads real packages")
+	}
+	var buf bytes.Buffer
+	code := hamlint.Main(".", []string{"hamoffload/internal/backend/slots"}, &buf,
+		hamlint.Options{Stats: true})
+	if code != 0 {
+		t.Fatalf("slots package should be clean: exit %d\n%s", code, buf.String())
+	}
+	text := buf.String()
+	if !strings.Contains(text, "hamlint stats") {
+		t.Errorf("-stats text output lacks the stats header:\n%s", text)
+	}
+	for _, a := range hamlint.Suite() {
+		if !strings.Contains(text, a.Name) {
+			t.Errorf("-stats text output lacks a row for %s:\n%s", a.Name, text)
+		}
+	}
+
+	buf.Reset()
+	code = hamlint.Main(".", []string{"hamoffload/internal/backend/slots"}, &buf,
+		hamlint.Options{JSON: true, Stats: true})
+	if code != 0 {
+		t.Fatalf("slots package should be clean: exit %d\n%s", code, buf.String())
+	}
+	var out struct {
+		Findings []json.RawMessage `json:"findings"`
+		Stats    []hamlint.AnalyzerStat
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("-json -stats output does not decode: %v\n%s", err, buf.String())
+	}
+	if out.Findings == nil {
+		t.Error("-json -stats must carry a non-null findings array")
+	}
+	if len(out.Stats) != len(hamlint.Suite()) {
+		t.Errorf("-json -stats has %d stat rows, want one per analyzer (%d)",
+			len(out.Stats), len(hamlint.Suite()))
+	}
+	for _, s := range out.Stats {
+		if s.Nanos < 0 {
+			t.Errorf("analyzer %s reports negative time %d", s.Name, s.Nanos)
+		}
 	}
 }

@@ -114,6 +114,21 @@ var hotPathScoped = []string{
 	"hamoffload/internal/dma",
 }
 
+// borrowckScoped are the packages living under the zero-copy buffer
+// ownership contracts that //ham:borrowed annotations seed: the runtime
+// core, the ham codec, every communication backend (the backend prefix
+// covers locb/tcpb/veob/dmab/mpib, slots, the adapters and conformance) and
+// the DMA/VEO layers their serve loops write through. borrowck reports only
+// inside these packages; summaries are still computed module-wide, so an
+// escape through a neutral helper surfaces at the in-scope call site.
+var borrowckScoped = []string{
+	"hamoffload/internal/core",
+	"hamoffload/internal/ham",
+	"hamoffload/internal/backend",
+	"hamoffload/internal/dma",
+	"hamoffload/internal/veo",
+}
+
 // HotPathRoots declares the hot-path entry points centrally, by the exact
 // full function name (types.Func.FullName). Functions may equivalently
 // carry a //hot:path marker in their doc comment; the policy list exists so
@@ -181,6 +196,8 @@ func Applies(analyzer, pkgPath string) bool {
 		return !inAny(pkgPath, afterfreeExempt)
 	case "hotalloc":
 		return inAny(pkgPath, hotPathScoped)
+	case "borrowck":
+		return inAny(pkgPath, borrowckScoped)
 	case "allowcheck":
 		return true
 	}
@@ -208,7 +225,7 @@ func CoveredByPolicy(pkgPath string) bool {
 	for _, table := range [][]string{
 		desPackages, wallClockPackages, goroutineExtra,
 		deterministicOutputPackages, unitcastExempt, flagOrderPackages,
-		acqrelExempt, afterfreeExempt, hotPathScoped,
+		acqrelExempt, afterfreeExempt, hotPathScoped, borrowckScoped,
 	} {
 		if inAny(pkgPath, table) {
 			return true

@@ -12,6 +12,7 @@ import (
 
 	"hamoffload/internal/core"
 	"hamoffload/internal/faults"
+	"hamoffload/internal/ham"
 	"hamoffload/internal/trace"
 )
 
@@ -184,6 +185,112 @@ func Exercise(t Reporter, rt *core.Runtime, target core.NodeID) {
 	}
 	if _, err := core.Allocate[float64](rt, target, -1); err == nil {
 		t.Errorf("negative allocate accepted")
+	}
+}
+
+// ExerciseAliasing is the runtime counterpart of the borrowck analyzer: it
+// drives the zero-copy aliasing contracts the //ham:borrowed annotations on
+// Backend.Call and Server.Dispatch declare. Call receives a message it may
+// only read for the duration of the call, so the exercise clobbers the wire
+// bytes the moment Call returns — a backend that retained the buffer (handed
+// it to a goroutine, deferred the transfer) would see the corruption and
+// answer wrong. Dispatch returns a response that is only valid until the next
+// Dispatch, so the exercise consumes each response before dispatching again
+// and verifies that scribbling over a stale response cannot corrupt later
+// ones. It must run in the host's execution context.
+func ExerciseAliasing(t Reporter, rt *core.Runtime, target core.NodeID) {
+	be := rt.Backend()
+	bin := rt.Binary()
+
+	encodeEcho := func(v int64) []byte {
+		msg, err := bin.EncodeRequest("fn:conformance.echo", func(e *ham.Encoder) {
+			e.PutI64(v)
+		})
+		if err != nil {
+			t.Errorf("aliasing: encode echo: %v", err)
+			return nil
+		}
+		return msg
+	}
+	decodeEcho := func(resp []byte) (int64, error) {
+		d, err := ham.DecodeResponse(resp)
+		if err != nil {
+			return 0, err
+		}
+		v := d.I64()
+		return v, d.Err()
+	}
+
+	// --- Call must not retain the request buffer --------------------------------
+	msg := encodeEcho(4242)
+	if msg == nil {
+		return
+	}
+	h, err := be.Call(target, msg)
+	if err != nil {
+		t.Errorf("aliasing: Call: %v", err)
+		return
+	}
+	for i := range msg { // the borrow ended when Call returned
+		msg[i] = 0xFF
+	}
+	resp, err := be.Wait(h)
+	if err != nil {
+		t.Errorf("aliasing: Wait: %v", err)
+		return
+	}
+	if v, err := decodeEcho(resp); err != nil || v != 4242 {
+		t.Errorf("aliasing: clobbered-request echo = %d, %v (want 4242): backend retained the caller's buffer past Call", v, err)
+	}
+
+	// --- pipelined Calls, every request clobbered, harvested out of order ------
+	const n = 8
+	handles := make([]core.Handle, n)
+	for i := range handles {
+		m := encodeEcho(int64(9000 + i))
+		if m == nil {
+			return
+		}
+		if handles[i], err = be.Call(target, m); err != nil {
+			t.Errorf("aliasing: pipelined Call %d: %v", i, err)
+			return
+		}
+		for j := range m {
+			m[j] = byte(i) // distinct garbage per request
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		r, err := be.Wait(handles[i])
+		if err != nil {
+			t.Errorf("aliasing: pipelined Wait %d: %v", i, err)
+			return
+		}
+		if v, err := decodeEcho(r); err != nil || v != int64(9000+i) {
+			t.Errorf("aliasing: pipelined echo %d = %d, %v (want %d)", i, v, err, 9000+i)
+		}
+	}
+
+	// --- Dispatch responses are scratch: valid until the next Dispatch ----------
+	// The host runtime is itself a Server; local dispatches execute the same
+	// handler path a serve loop drives. Each response is consumed before the
+	// next Dispatch, and scribbling over a stale response must not corrupt a
+	// later one — they may share the same scratch buffer.
+	m1 := encodeEcho(7)
+	m2 := encodeEcho(8)
+	if m1 == nil || m2 == nil {
+		return
+	}
+	r1 := rt.Dispatch(m1)
+	if v, err := decodeEcho(r1); err != nil || v != 7 {
+		t.Errorf("aliasing: dispatch echo = %d, %v (want 7)", v, err)
+		return
+	}
+	for i := range r1 { // r1's validity window ends at the next Dispatch
+		r1[i] = 0xEE
+	}
+	r2 := rt.Dispatch(m2)
+	if v, err := decodeEcho(r2); err != nil || v != 8 {
+		t.Errorf("aliasing: dispatch after clobbered response = %d, %v (want 8): response scratch not re-armed between dispatches", v, err)
 	}
 }
 

@@ -121,6 +121,114 @@ func TestClusterConformance(t *testing.T) {
 	}
 }
 
+// TestAliasingConformanceLoopback drives the zero-copy aliasing contracts on
+// the in-process backend.
+func TestAliasingConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewRuntime(tb, "conf-loc-target")
+	host := core.NewRuntime(hb, "conf-loc-host")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseAliasing(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestAliasingConformanceTCP drives the zero-copy aliasing contracts over real
+// sockets.
+func TestAliasingConformanceTCP(t *testing.T) {
+	tgt, err := tcpb.Listen("127.0.0.1:0", 1, 2, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetRT := core.NewRuntime(tgt, "conf-tcp-target")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := targetRT.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	hb, err := tcpb.Dial([]string{tgt.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := core.NewRuntime(hb, "conf-tcp-host")
+	conformance.ExerciseAliasing(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestAliasingConformanceSimulated drives the zero-copy aliasing contracts on
+// both SX-Aurora protocols, where Call parks the proc on the simulated clock
+// mid-transfer — the widest window for a retained-buffer bug to surface.
+func TestAliasingConformanceSimulated(t *testing.T) {
+	for name, connect := range map[string]func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error){
+		"veo": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		},
+		"dma": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := machine.New(machine.Config{VEs: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseAliasing(t, rt, 1)
+				conformance.ExerciseAliasing(t, rt, 2)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAliasingConformanceCluster drives the zero-copy aliasing contracts on
+// the InfiniBand cluster backend, local and remote.
+func TestAliasingConformanceCluster(t *testing.T) {
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseAliasing(t, rt, 1) // local VE
+		conformance.ExerciseAliasing(t, rt, 2) // remote VE
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestBatchConformanceLoopback runs the batching contract against the
 // in-process backend.
 func TestBatchConformanceLoopback(t *testing.T) {

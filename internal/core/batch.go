@@ -64,7 +64,10 @@ func openBatch(msg []byte) (msgs [][]byte, isBatch bool, err error) {
 // openBatchInto is openBatch appending the entries to dst, so steady-state
 // frame splitting can reuse one scratch slice instead of allocating an entry
 // list per frame. On a framing error dst is returned (possibly partially
-// filled) so the caller keeps its scratch capacity.
+// filled) so the caller keeps its scratch capacity. The returned entries
+// alias msg and share its validity window.
+//
+//ham:borrowed msg
 func openBatchInto(dst [][]byte, msg []byte) (msgs [][]byte, isBatch bool, err error) {
 	if len(msg) < batHeader || binary.LittleEndian.Uint32(msg[0:4]) != batMagic {
 		return nil, false, nil
@@ -86,6 +89,7 @@ func openBatchInto(dst [][]byte, msg []byte) (msgs [][]byte, isBatch bool, err e
 			return msgs, true, fmt.Errorf("%w: batch entry %d claims %d of %d bytes", //lint:allow hotalloc corrupt-frame path: runs at most once per rejected frame
 				ErrPayloadCorrupt, i, l, len(rest))
 		}
+		//lint:allow borrowck the entries alias the inbound frame by design; Dispatch consumes them before the serve loop reuses it
 		msgs = append(msgs, rest[:l]) //lint:allow hotalloc amortized growth of the caller's entry scratch
 		rest = rest[l:]
 	}

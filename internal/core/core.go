@@ -63,7 +63,10 @@ type Backend interface {
 	// backend may read it for the duration of the call (including any parks
 	// on a simulated clock) but must not retain it after Call returns —
 	// implementations that hand the message to another goroutine or defer
-	// the transfer must copy it first.
+	// the transfer must copy it first. The borrowck analyzer enforces this
+	// in every implementation through the annotation below.
+	//
+	//ham:borrowed msg
 	Call(target NodeID, msg []byte) (Handle, error)
 	// Wait blocks until the response for h arrives and returns it.
 	Wait(h Handle) ([]byte, error)
@@ -98,7 +101,11 @@ type Server interface {
 	// response may alias the server's scratch buffers and is only valid
 	// until the next Dispatch call on this server: serve loops must copy or
 	// fully consume it (write it to the transport) before dispatching the
-	// next message.
+	// next message. Both directions are enforced by borrowck: msg is
+	// borrowed for the duration of the call, the response is borrowed until
+	// the next Dispatch.
+	//
+	//ham:borrowed msg return
 	Dispatch(msg []byte) []byte
 	// Done reports whether a terminate message has been executed.
 	Done() bool
@@ -249,6 +256,8 @@ func (rt *Runtime) Dispatch(msg []byte) []byte {
 }
 
 // dispatchRaw executes one bare active message.
+//
+//ham:borrowed msg return
 func (rt *Runtime) dispatchRaw(msg []byte) []byte {
 	rt.executed++
 	if rt.tr == nil {

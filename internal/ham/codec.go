@@ -106,13 +106,19 @@ type Decoder struct {
 	err error
 }
 
-// NewDecoder wraps a payload for decoding.
+// NewDecoder wraps a payload for decoding. The decoder aliases buf — it
+// shares whatever validity window the payload has.
+//
+//ham:borrowed buf return
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
 // Reset re-targets the decoder at a new payload and clears any sticky error,
 // so one decoder can be reused across sequential messages without
-// reallocating.
-func (d *Decoder) Reset(buf []byte) { d.buf, d.off, d.err = buf, 0, nil }
+// reallocating. The decoder is itself scratch with the same validity window
+// as buf, which is why the retaining store below is sanctioned.
+//
+//ham:borrowed buf
+func (d *Decoder) Reset(buf []byte) { d.buf, d.off, d.err = buf, 0, nil } //lint:allow borrowck the decoder is scratch sharing buf's validity window; it never outlives the message
 
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }

@@ -216,6 +216,8 @@ func unknownAddrError(addr uint64, arch string) error {
 // The returned response aliases the binary's scratch buffer: it is valid
 // only until the next Dispatch on this Binary, and callers that need it
 // longer must copy it.
+//
+//ham:borrowed msg return
 func (b *Binary) Dispatch(env any, msg []byte) []byte {
 	if b.busy {
 		return b.dispatchFresh(env, msg)
@@ -233,6 +235,7 @@ func (b *Binary) endDispatch() { b.busy = false }
 // nested message while the scratch pair is in use gets fresh codecs.
 //
 //hot:cold
+//ham:borrowed msg return
 func (b *Binary) dispatchFresh(env any, msg []byte) []byte {
 	return b.dispatch(env, NewDecoder(msg), NewEncoder())
 }
@@ -325,7 +328,9 @@ func DecodeResponse(resp []byte) (*Decoder, error) {
 // DecodeResponseInto is DecodeResponse over a caller-owned decoder, so a
 // runtime settling many futures can amortize the decoder allocation with one
 // reusable scratch. On success the returned decoder is d itself, re-targeted
-// at the response payload.
+// at the response payload — it borrows resp for as long as resp is valid.
+//
+//ham:borrowed resp
 func DecodeResponseInto(d *Decoder, resp []byte) (*Decoder, error) {
 	d.Reset(resp)
 	switch st := d.U8(); st {
