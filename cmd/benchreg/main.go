@@ -3,14 +3,16 @@
 // committed JSON baselines or verifies a fresh run against them:
 //
 //	benchreg                 rerun and (re)write BENCH_fig9.json, BENCH_batch.json,
-//	                         BENCH_engine.json
+//	                         BENCH_resilience.json, BENCH_engine.json
 //	benchreg -check          rerun and fail if any stat regresses beyond -tol
 //	benchreg -check -tol 0   demand bit-exact reproduction (simulated time is
 //	                         deterministic, so this holds on an unchanged tree)
 //
-// In both modes it also enforces the batching design target: a 16-message
-// batch's amortised per-message empty-offload cost must stay at or below
-// half the single-message DMA-protocol cost (see docs/BATCHING.md).
+// In both modes it also enforces two design targets: a 16-message batch's
+// amortised per-message empty-offload cost must stay at or below half the
+// single-message DMA-protocol cost (see docs/BATCHING.md), and with one of
+// two VEs degraded 10x, hedging plus health-aware scheduling must recover
+// at least 2x of the baseline's p99.9 offload latency (see docs/FAULTS.md).
 //
 // BENCH_engine.json is the DES engine's own profile over the telemetry
 // workload. Its simulated-clock fields (event count, final time, queue
@@ -27,7 +29,10 @@ import (
 	"hamoffload/bench"
 )
 
-const amortisationGate = 0.5 // batch-16 per-msg mean <= 50% of single-dma mean
+const (
+	amortisationGate = 0.5 // batch-16 per-msg mean <= 50% of single-dma mean
+	resilienceGate   = 2.0 // baseline p99.9 / hedged-breaker p99.9 >= 2x
+)
 
 func main() {
 	check := flag.Bool("check", false, "compare against the committed baselines instead of rewriting them")
@@ -50,6 +55,11 @@ func main() {
 	if err != nil {
 		fail("batch: %v", err)
 	}
+	fmt.Fprintln(os.Stderr, "benchreg: running resilience experiment...")
+	resilience, err := bench.ResilienceReport(bench.ResilienceConfig{})
+	if err != nil {
+		fail("resilience: %v", err)
+	}
 	fmt.Fprintln(os.Stderr, "benchreg: profiling the DES engine on the telemetry workload...")
 	engine, err := bench.EngineProfileReport(bench.TelemetryConfig{})
 	if err != nil {
@@ -71,12 +81,26 @@ func main() {
 			ratio*100, amortisationGate*100)
 	}
 
+	rbase, ok1 := resilience.Entry("baseline")
+	rhb, ok2 := resilience.Entry("hedged-breaker")
+	if !ok1 || !ok2 {
+		fail("resilience report is missing baseline or hedged-breaker")
+	}
+	recovered := rbase.P999US / rhb.P999US
+	fmt.Fprintf(os.Stderr, "benchreg: gray-failure p99.9 baseline %.2f us vs hedged-breaker %.2f us (recovered %.2fx, gate %.2fx)\n",
+		rbase.P999US, rhb.P999US, recovered, resilienceGate)
+	if recovered < resilienceGate {
+		fail("resilience gate failed: hedging + health-aware scheduling recovered %.2fx of baseline p99.9 (target >= %.2fx)",
+			recovered, resilienceGate)
+	}
+
 	reports := []struct {
 		path string
 		rep  bench.Report
 	}{
 		{filepath.Join(*dir, "BENCH_fig9.json"), fig9},
 		{filepath.Join(*dir, "BENCH_batch.json"), batch},
+		{filepath.Join(*dir, "BENCH_resilience.json"), resilience},
 	}
 
 	enginePath := filepath.Join(*dir, "BENCH_engine.json")

@@ -18,6 +18,7 @@
 //	hambench -exp putget              public-API data path vs Fig. 10 curves
 //	hambench -exp faults              fault-tolerance overhead on the Fig. 9 path
 //	hambench -exp batch               batched-message amortisation vs Fig. 9 baseline
+//	hambench -exp resilience          gray-failure tail latency: hedging + circuit breakers
 //	hambench -exp telemetry           continuous telemetry: sparklines, SLO table, causal flows
 //	hambench -exp all                 everything above
 //
@@ -48,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, batch, telemetry, all)")
+	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, batch, resilience, telemetry, all)")
 	socket := flag.Int("socket", 0, "VH socket to offload from (fig9)")
 	reps := flag.Int("reps", 0, "timed repetitions per point (0 = defaults)")
 	maxSize := flag.Int64("max-size", (256 * units.MiB).Int64(), "largest transfer size for sweeps")
@@ -303,6 +304,15 @@ func main() {
 			return err
 		}
 		bench.RenderBatch(os.Stdout, r)
+		return nil
+	})
+
+	run("resilience", func() error {
+		res, err := bench.Resilience(bench.ResilienceConfig{Offloads: *reps})
+		if err != nil {
+			return err
+		}
+		bench.RenderResilience(os.Stdout, res)
 		return nil
 	})
 

@@ -31,7 +31,11 @@ var desPackages = []string{
 	"hamoffload/internal/ib",
 	"hamoffload/internal/topology",
 	"hamoffload/bench",
-	"hamoffload/sched", // placement must stay a pure function of DES-visible state
+	// Placement must stay a pure function of DES-visible state. The prefix
+	// also covers sched/health: breaker cooldowns and latency EWMAs live on
+	// the caller-supplied simulated clock, so the health tracker is as
+	// wall-clock-free as the policies it feeds.
+	"hamoffload/sched",
 	// telemetry records simulated-clock series and SLO windows; only its
 	// engine profiler reads the wall clock, under //lint:allow walltime.
 	"hamoffload/internal/telemetry",

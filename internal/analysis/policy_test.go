@@ -18,6 +18,9 @@ func TestPolicyScoping(t *testing.T) {
 		{"walltime", "hamoffload/internal/backend/locb", true},
 		{"walltime", "hamoffload/internal/faults", true},
 		{"walltime", "hamoffload/bench", true},
+		// sched/health rides under the sched prefix: breaker cooldowns are
+		// measured on the caller-supplied simulated clock, never the wall one.
+		{"walltime", "hamoffload/sched/health", true},
 		{"walltime", "hamoffload/internal/backend/tcpb", false},
 		{"walltime", "hamoffload/internal/backend/mpib", false},
 		{"walltime", "hamoffload/internal/trace", false}, // owns WallClock
@@ -26,6 +29,7 @@ func TestPolicyScoping(t *testing.T) {
 		// goroutine: DES set plus the runtime core.
 		{"goroutine", "hamoffload/internal/simtime", true},
 		{"goroutine", "hamoffload/internal/core", true},
+		{"goroutine", "hamoffload/sched/health", true},
 		{"goroutine", "hamoffload/internal/backend/tcpb", false},
 		{"goroutine", "hamoffload/internal/backend/mpib", false},
 
@@ -39,6 +43,7 @@ func TestPolicyScoping(t *testing.T) {
 		{"detmap", "hamoffload/internal/ham", true},
 		{"detmap", "hamoffload/internal/faults", true},
 		{"detmap", "hamoffload/cmd/veinfo", true},
+		{"detmap", "hamoffload/sched/health", true},
 		{"detmap", "hamoffload/machine", false},
 		{"detmap", "hamoffload/internal/backend/tcpb", false},
 

@@ -13,7 +13,10 @@ import (
 	"hamoffload/internal/core"
 	"hamoffload/internal/faults"
 	"hamoffload/internal/ham"
+	"hamoffload/internal/simtime"
 	"hamoffload/internal/trace"
+	"hamoffload/sched"
+	"hamoffload/sched/health"
 )
 
 // Registered functions of the conformance program. Like any HAM-Offload
@@ -596,5 +599,214 @@ func ExerciseTrace(t Reporter, rt *core.Runtime, target core.NodeID, tr *trace.T
 	}
 	if _, ok := pick(trace.PhaseExecute, int(target)); !ok {
 		t.Errorf("mandatory %q span missing on serving node %d", trace.PhaseExecute, target)
+	}
+}
+
+// ExerciseHedging extends the contract to hedged requests: with fault
+// tolerance and a same-node hedge armed, every synchronous offload races a
+// speculative duplicate of itself, and the target's dedup window must keep
+// the effectful handler at exactly-once no matter which copy settles first.
+// More offloads than the protocol has message slots run back to back, so
+// abandoned hedge-loser handles must recycle their slots instead of wedging
+// the connection. It must run in the host's execution context.
+func ExerciseHedging(t Reporter, rt *core.Runtime, target core.NodeID) {
+	savedFT := rt.FaultTolerancePolicy()
+	savedHedge := rt.HedgingPolicy()
+	savedBudget := rt.RetryBudgetPolicy()
+	defer func() {
+		rt.SetFaultTolerance(savedFT)
+		rt.SetHedging(savedHedge)
+		rt.SetRetryBudget(savedBudget)
+	}()
+	rt.SetFaultTolerance(core.FaultTolerance{MaxRetries: 3})
+	// A delay of one simulated nanosecond fires the hedge on the first paced
+	// poll of every offload on the simulated backends; wall-clock backends
+	// hedge immediately by contract. Either way every offload duplicates,
+	// which is the worst case the dedup window must absorb. The ample budget
+	// exercises the token-spend path without ever denying.
+	rt.SetHedging(core.HedgePolicy{Delay: simtime.Nanosecond})
+	rt.SetRetryBudget(core.RetryBudget{Tokens: 256})
+
+	buf, err := core.Allocate[int64](rt, target, 1)
+	if err != nil {
+		t.Errorf("hedging: Allocate: %v", err)
+		return
+	}
+	defer func() { _ = core.Free(rt, buf) }()
+	if err := core.Put(rt, []int64{0}, buf); err != nil {
+		t.Errorf("hedging: Put: %v", err)
+		return
+	}
+
+	hedgesBefore := rt.Hedges()
+	const n = 20 // more than the default 8 message slots: losers must recycle
+	for i := int64(1); i <= n; i++ {
+		v, err := core.Sync(rt, target, cfBump.Bind(buf))
+		if err != nil {
+			t.Errorf("hedging: bump %d = %v", i, err)
+			return
+		}
+		// Synchronous, hedged, deduped: the counter must advance by exactly
+		// one per offload — a duplicate execution would skip ahead.
+		if v != i {
+			t.Errorf("hedging: bump %d returned %d — hedge duplicate executed", i, v)
+			return
+		}
+	}
+	final := make([]int64, 1)
+	if err := core.Get(rt, buf, final); err != nil {
+		t.Errorf("hedging: Get: %v", err)
+		return
+	}
+	if final[0] != n {
+		t.Errorf("hedging: counter = %d after %d hedged bumps (want exactly %d)", final[0], n, n)
+	}
+	if got := rt.Hedges() - hedgesBefore; got < 1 {
+		t.Errorf("hedging: no hedge fired across %d offloads", n)
+	}
+	if rt.BudgetDenied() != 0 {
+		t.Errorf("hedging: ample budget denied %d times", rt.BudgetDenied())
+	}
+
+	// The connection must be fully live afterwards.
+	if v, err := core.Sync(rt, target, cfEcho.Bind(61)); err != nil || v != 61 {
+		t.Errorf("hedging: echo after hedged run = %d, %v", v, err)
+	}
+}
+
+// ExerciseGrayFailure is the health-scored scheduling contract: a fail-slow
+// node must be ejected by its circuit breaker, traffic must route around it
+// while it is open, and after the cooldown a probe offload must re-admit
+// it. Offloads are real; the latency observations fed to the tracker are
+// synthetic (a healthy 5 µs versus a sick 60 µs), so the exercise is
+// deterministic on wall-clock and simulated backends alike. targets are
+// rt's offload targets, sick the one to degrade; with a single target the
+// policy must fail open and keep serving it. It must run in the host's
+// execution context.
+func ExerciseGrayFailure(t Reporter, rt *core.Runtime, targets []core.NodeID, sick core.NodeID) {
+	const (
+		healthyLat = 5 * simtime.Microsecond
+		sickLat    = 60 * simtime.Microsecond
+	)
+	cfg := health.Config{
+		OutlierFactor:  3,
+		OutlierStrikes: 4,
+		FailureStrikes: 3,
+		OpenFor:        100 * simtime.Microsecond,
+	}
+	var now simtime.Time
+	trk := health.New(cfg, targets, func() simtime.Time { return now })
+	pol := sched.HealthAware(sched.RoundRobin(), trk)
+	inflight := make([]int, len(targets))
+
+	// offloadVia picks through the health-aware policy, runs a real echo on
+	// the picked node, and feeds the tracker a synthetic latency shaped by
+	// the node's (pretend) condition.
+	offloadVia := func(slow bool) core.NodeID {
+		i := pol.Pick(0, targets, inflight)
+		if i < 0 || i >= len(targets) {
+			t.Errorf("gray: policy picked %d of %d nodes", i, len(targets))
+			return -1
+		}
+		n := targets[i]
+		if v, err := core.Sync(rt, n, cfEcho.Bind(int64(n))); err != nil || v != int64(n) {
+			t.Errorf("gray: echo via node %d = %d, %v", n, v, err)
+		}
+		lat := healthyLat
+		if slow {
+			lat = sickLat
+		}
+		trk.Observe(n, lat, false)
+		now = now.Add(lat)
+		return n
+	}
+
+	// --- phase 1: warm-up — every node healthy, all breakers closed ------------
+	for range targets {
+		offloadVia(false)
+	}
+	for _, n := range targets {
+		if trk.StateOf(n) != health.Closed || !trk.Allows(n) {
+			t.Errorf("gray: node %d not closed/allowed after healthy warm-up", n)
+		}
+	}
+
+	// --- phase 2: degrade the sick node until its breaker opens ----------------
+	// Feed the sick node consecutive outlier observations directly (as its
+	// settlements would under real degradation) until the breaker trips.
+	if len(targets) > 1 {
+		for i := 0; i < cfg.OutlierStrikes; i++ {
+			if v, err := core.Sync(rt, sick, cfEcho.Bind(int64(sick))); err != nil || v != int64(sick) {
+				t.Errorf("gray: echo on sick node %d = %d, %v", sick, v, err)
+			}
+			trk.Observe(sick, sickLat, false)
+			now = now.Add(sickLat)
+		}
+	} else {
+		// A lone target has no healthy reference for outlier detection; trip
+		// the breaker through consecutive failures instead.
+		for i := 0; i < cfg.FailureStrikes; i++ {
+			trk.Observe(sick, 0, true)
+		}
+	}
+	if trk.StateOf(sick) != health.Open {
+		t.Errorf("gray: sick node %d not ejected (state %v)", sick, trk.StateOf(sick))
+		return
+	}
+	if trk.Allows(sick) {
+		t.Errorf("gray: open breaker admits traffic inside its cooldown")
+	}
+
+	// --- phase 3: traffic routes around the ejected node -----------------------
+	if len(targets) > 1 {
+		for i := 0; i < 2*len(targets); i++ {
+			if n := offloadVia(false); n == sick {
+				t.Errorf("gray: offload %d landed on ejected node %d", i, sick)
+			}
+		}
+	} else {
+		// Fail open: degraded service beats no service.
+		// (The breaker stays open; observations while open are stats-only.)
+		prev := trk.StateOf(sick)
+		if n := offloadVia(true); n != sick {
+			t.Errorf("gray: single-target policy must fail open to node %d, picked %d", sick, n)
+		}
+		if trk.StateOf(sick) != prev {
+			t.Errorf("gray: fail-open traffic moved the breaker")
+		}
+		return // no healthy sibling: probing/re-admission has nothing to route around
+	}
+
+	// --- phase 4: cooldown elapses, a probe re-admits the node -----------------
+	now = now.Add(cfg.OpenFor)
+	if !trk.Allows(sick) {
+		t.Errorf("gray: elapsed cooldown must make the sick node probeable")
+	}
+	probed := false
+	for i := 0; i < 2*len(targets) && !probed; i++ {
+		if offloadVia(false) == sick {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Errorf("gray: no probe reached node %d after its cooldown", sick)
+		return
+	}
+	if trk.StateOf(sick) != health.Closed {
+		t.Errorf("gray: successful probe left node %d %v (want closed)", sick, trk.StateOf(sick))
+	}
+
+	// --- phase 5: the re-admitted node serves again ----------------------------
+	served := false
+	for i := 0; i < 2*len(targets); i++ {
+		if offloadVia(false) == sick {
+			served = true
+		}
+	}
+	if !served {
+		t.Errorf("gray: re-admitted node %d got no traffic", sick)
+	}
+	if trk.Transitions() < 3 {
+		t.Errorf("gray: %d breaker transitions, want the full closed->open->half-open->closed cycle", trk.Transitions())
 	}
 }

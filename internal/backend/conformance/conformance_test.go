@@ -831,3 +831,224 @@ func TestTraceConformanceCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHedgingConformanceLoopback drives the hedged-request contract on the
+// in-process backend (wall-clock: hedges fire immediately).
+func TestHedgingConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewRuntime(tb, "conf-hedge-loc-target")
+	host := core.NewRuntime(hb, "conf-hedge-loc-host")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseHedging(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestHedgingConformanceTCP drives the hedged-request contract over real
+// loopback sockets.
+func TestHedgingConformanceTCP(t *testing.T) {
+	tgt, err := tcpb.Listen("127.0.0.1:0", 1, 2, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetRT := core.NewRuntime(tgt, "conf-hedge-tcp-target")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := targetRT.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	hb, err := tcpb.Dial([]string{tgt.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := core.NewRuntime(hb, "conf-hedge-tcp-host")
+	conformance.ExerciseHedging(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestHedgingConformanceSimulated drives the hedged-request contract over
+// both SX-Aurora protocols; hedge delays run on the simulated clock.
+func TestHedgingConformanceSimulated(t *testing.T) {
+	for name, connect := range map[string]func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error){
+		"veo": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		},
+		"dma": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := machine.New(machine.Config{VEs: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseHedging(t, rt, 1)
+				conformance.ExerciseHedging(t, rt, 2)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHedgingConformanceCluster drives the hedged-request contract against
+// a local and a remote VE over the InfiniBand cluster backend.
+func TestHedgingConformanceCluster(t *testing.T) {
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseHedging(t, rt, 1) // local VE
+		conformance.ExerciseHedging(t, rt, 2) // remote VE
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrayFailureConformanceLoopback drives the health-scored scheduling
+// contract on the pair-only in-process backend: a single target means the
+// policy must fail open rather than starve.
+func TestGrayFailureConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewRuntime(tb, "conf-gray-loc-target")
+	host := core.NewRuntime(hb, "conf-gray-loc-host")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseGrayFailure(t, host, []core.NodeID{1}, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestGrayFailureConformanceTCP drives ejection, routing-around and probe
+// re-admission across two socket targets.
+func TestGrayFailureConformanceTCP(t *testing.T) {
+	tgt1, err := tcpb.Listen("127.0.0.1:0", 1, 3, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt2, err := tcpb.Listen("127.0.0.1:0", 2, 3, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt1 := core.NewRuntime(tgt1, "conf-gray-tcp-t1")
+	rt2 := core.NewRuntime(tgt2, "conf-gray-tcp-t2")
+	var wg sync.WaitGroup
+	for _, trt := range []*core.Runtime{rt1, rt2} {
+		wg.Add(1)
+		go func(trt *core.Runtime) {
+			defer wg.Done()
+			if err := trt.Serve(); err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+		}(trt)
+	}
+	hb, err := tcpb.Dial([]string{tgt1.Addr(), tgt2.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := core.NewRuntime(hb, "conf-gray-tcp-host")
+	conformance.ExerciseGrayFailure(t, host, []core.NodeID{1, 2}, 2)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestGrayFailureConformanceSimulated drives the contract over both
+// SX-Aurora protocols with three VEs, degrading the middle one.
+func TestGrayFailureConformanceSimulated(t *testing.T) {
+	for name, connect := range map[string]func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error){
+		"veo": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		},
+		"dma": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := machine.New(machine.Config{VEs: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseGrayFailure(t, rt, []core.NodeID{1, 2, 3}, 2)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGrayFailureConformanceCluster degrades the remote VE of a two-machine
+// cluster: ejection and re-admission must work across the local/remote
+// split exactly as on one machine.
+func TestGrayFailureConformanceCluster(t *testing.T) {
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseGrayFailure(t, rt, []core.NodeID{1, 2}, 2) // node 2 is remote
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,9 @@ import (
 // host's Allocate is an active message whose handler runs the target-local
 // allocator.
 const (
+	// msgPrefix namespaces the runtime's own messages; offloads carrying it
+	// are node-pinned (see pinnedMessage).
+	msgPrefix    = "ham.rt."
 	msgAlloc     = "ham.rt.allocate"
 	msgFree      = "ham.rt.free"
 	msgTerminate = "ham.rt.terminate"

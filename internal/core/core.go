@@ -134,6 +134,18 @@ type Runtime struct {
 	// offload travels as its own wire message, bit-identical to before.
 	batch BatchPolicy
 
+	// Gray-failure resilience (see resilience.go). hedge zero = off; budget
+	// zero = unbudgeted. buckets are the per-target token buckets, built
+	// lazily on the first armed spend; strays hold abandoned hedge-loser
+	// handles until their late responses drain.
+	hedge        HedgePolicy
+	budget       RetryBudget
+	buckets      []tokenBucket
+	strays       []Handle
+	hedges       int64
+	hedgeWins    int64
+	budgetDenied int64
+
 	// Continuous telemetry (see telemetry.go). tel nil = off; curFlow is
 	// the trace ID of the offload currently being sealed, lastFlow the most
 	// recently issued one (for scheduler placement events); inflight counts
@@ -348,6 +360,9 @@ func (rt *Runtime) callAsync(node NodeID, name string, payload func(*ham.Encoder
 	}
 	rt.offloads++
 	wire, pd := rt.seal(node, msg)
+	if pd != nil && pinnedMessage(name) {
+		pd.pinned = true
+	}
 	wire, _ = rt.flowSeal(wire, pd)
 	rt.noteSent(node, len(wire))
 	h, err := rt.backend.Call(node, wire)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hamoffload/internal/faults"
 	"hamoffload/internal/simtime"
 	"hamoffload/internal/telemetry"
 	"hamoffload/internal/trace"
@@ -25,6 +26,12 @@ type FaultTolerance struct {
 	MaxRetries  int
 	BackoffBase simtime.Duration
 	BackoffMax  simtime.Duration
+	// Seed keys the splitmix64 stream (faults.Mix — the chaos plan's stream,
+	// never a fresh randomness source) that jitters each backoff by up to
+	// half its nominal length, decorrelating retry storms across initiators.
+	// 0 disables jitter: backoffs are exactly the exponential schedule,
+	// bit-identical to the un-seeded runtime.
+	Seed uint64
 }
 
 func (ft FaultTolerance) enabled() bool { return ft.MaxRetries > 0 }
@@ -75,7 +82,20 @@ type pending struct {
 	msg     []byte
 	seq     uint64
 	attempt int
-	fid     uint64 // causal trace ID riding on msg, 0 without armed flows
+	fid     uint64       // causal trace ID riding on msg, 0 without armed flows
+	sentAt  simtime.Time // issue time on the simulated clock; hedge delays measure from here
+	pinned  bool         // node-addressed runtime control message: never hedge
+}
+
+// pinnedMessage reports whether name is a runtime control message
+// (terminate, allocate, free, ping). These address a specific node's state,
+// so speculatively re-executing one on a *different* node is never correct:
+// a hedged allocate returns an address on the wrong card, and a hedged
+// terminate shuts down a healthy node that still has traffic — then waits
+// forever for the real target's terminate to answer. Pinned offloads
+// resolve through the plain retry path regardless of the hedging policy.
+func pinnedMessage(name string) bool {
+	return len(name) >= len(msgPrefix) && name[:len(msgPrefix)] == msgPrefix
 }
 
 // nextSeq allocates a fresh envelope sequence number.
@@ -90,14 +110,17 @@ func (rt *Runtime) seal(node NodeID, msg []byte) ([]byte, *pending) {
 	if !rt.ft.enabled() {
 		return msg, nil
 	}
-	pd := &pending{node: node, seq: rt.nextSeq()} //lint:allow hotalloc retransmission state must outlive the offload
+	pd := &pending{node: node, seq: rt.nextSeq(), sentAt: rt.telNow()} //lint:allow hotalloc retransmission state must outlive the offload
 	pd.msg = sealMessage(envRequest, pd.seq, msg)
 	return pd.msg, pd
 }
 
-// canRetry decides whether pd has retry budget for err.
+// canRetry decides whether pd may be retransmitted for err: the failure
+// must be transient, attempts must remain, and — last, because it spends a
+// token — the target's retry budget must allow more traffic.
 func (rt *Runtime) canRetry(pd *pending, err error) bool {
-	return pd != nil && IsTransient(err) && pd.attempt < rt.ft.MaxRetries
+	return pd != nil && IsTransient(err) && pd.attempt < rt.ft.MaxRetries &&
+		rt.spendToken(pd.node)
 }
 
 // noteTimeout counts a timed-out offload on its way to the caller.
@@ -136,6 +159,9 @@ func (rt *Runtime) resubmit(pd *pending) (Handle, error) {
 					d = rt.ft.BackoffMax
 					break
 				}
+			}
+			if rt.ft.Seed != 0 {
+				d += simtime.Duration(faults.Mix(rt.ft.Seed, pd.seq, uint64(pd.attempt)) % uint64(d/2+1))
 			}
 			if b, ok := rt.backend.(backoffSleeper); ok {
 				b.Backoff(d)
@@ -180,8 +206,12 @@ func (rt *Runtime) openResponse(pd *pending, resp []byte) ([]byte, error) {
 
 // resolve blocks until the offload behind h completes, applying the retry
 // policy: transient failures (from the backend or from response
-// validation) are re-posted until the budget runs out.
+// validation) are re-posted until the budget runs out. A hedging-armed
+// runtime resolves enveloped offloads through the racing path instead.
 func (rt *Runtime) resolve(h Handle, pd *pending) ([]byte, error) {
+	if rt.hedge.enabled() && pd != nil && !pd.pinned {
+		return rt.resolveHedged(h, pd)
+	}
 	for {
 		resp, err := rt.backend.Wait(h)
 		if err == nil {

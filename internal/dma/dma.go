@@ -43,6 +43,20 @@ func checkTransfer(p *simtime.Proc, t topology.Timing, site faults.Site, path pc
 	return nil
 }
 
+// slowDown serves a fail-slow injection at a transfer site: when the plan
+// degrades this node, the transfer is delayed by the injector's verdict on
+// its nominal cost (SlowDown factors, seed-derived jitter) before the
+// engine starts. Zero cost without an injector; see faults.SlowDelay.
+func slowDown(p *simtime.Proc, t topology.Timing, site faults.Site, path pcie.Path, base simtime.Duration) {
+	if t.Faults == nil {
+		return
+	}
+	if d := t.Faults.SlowDelay(p.Now(), site, path.Link.VE(), base); d > 0 {
+		t.Tracer.Instant(p, "fault", "slow-down "+site.String())
+		p.Sleep(d)
+	}
+}
+
 // corrupt flips one byte of the destination region when a bit-flip fault is
 // scheduled for this transfer, after the data moved.
 func corrupt(p *simtime.Proc, t topology.Timing, site faults.Site, path pcie.Path,
@@ -168,6 +182,7 @@ func (d *Privileged) transfer(p *simtime.Proc, dir pcie.Direction, veAddr, hostA
 		rate = d.timing.PrivDMAReadRate
 	}
 	wire := simtime.BytesOver(n, rate)
+	slowDown(p, d.timing, faults.SitePrivDMA, d.path, wire+d.timing.PrivDMAKick)
 
 	d.engine.Acquire(p)
 	p.Sleep(d.translateTime(hostAddr, n, wire))
@@ -259,6 +274,7 @@ func (u *UserDMA) Post(p *simtime.Proc, level Level, dir pcie.Direction, dstVEHV
 	if dir == pcie.Down {
 		rate = u.timing.UserDMAReadRate
 	}
+	slowDown(p, u.timing, faults.SiteUserDMA, u.path, simtime.BytesOver(n, rate)+u.timing.UserDMAHWLatency)
 
 	defer u.timing.Tracer.Span(p, "dma", "user-dma "+dir.String())()
 	u.engine.Acquire(p)
@@ -322,6 +338,7 @@ func (in *Instr) LoadWord(p *simtime.Proc, vehva mem.Addr) (uint64, error) {
 	if err := checkTransfer(p, in.timing, faults.SiteLHM, in.path); err != nil {
 		return 0, err
 	}
+	slowDown(p, in.timing, faults.SiteLHM, in.path, in.timing.LHMPerWord)
 	defer in.timing.Tracer.Span(p, "pcie", "lhm-load")()
 	p.Sleep(in.timing.LHMPerWord + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency*2)
 	in.loads++
@@ -337,6 +354,7 @@ func (in *Instr) StoreWord(p *simtime.Proc, vehva mem.Addr, v uint64) error {
 	if err := checkTransfer(p, in.timing, faults.SiteLHM, in.path); err != nil {
 		return err
 	}
+	slowDown(p, in.timing, faults.SiteLHM, in.path, in.timing.SHMFirstWord)
 	defer in.timing.Tracer.Span(p, "pcie", "shm-store")()
 	p.Sleep(in.timing.SHMFirstWord + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency)
 	in.stores++
@@ -359,8 +377,9 @@ func (in *Instr) StoreBytes(p *simtime.Proc, vehva mem.Addr, data []byte) error 
 		return err
 	}
 	words := padded / 8
-	defer in.timing.Tracer.Span(p, "pcie", "shm-store")()
 	cost := in.timing.SHMFirstWord + simtime.Duration(words-1)*in.timing.SHMPerWord
+	slowDown(p, in.timing, faults.SiteLHM, in.path, cost)
+	defer in.timing.Tracer.Span(p, "pcie", "shm-store")()
 	p.Sleep(cost + simtime.Duration(in.path.UPIHops)*in.timing.UPILatency)
 	in.stores += words
 	buf := make([]byte, padded)
@@ -387,6 +406,7 @@ func (in *Instr) LoadBytes(p *simtime.Proc, vehva mem.Addr, out []byte) error {
 		return err
 	}
 	words := padded / 8
+	slowDown(p, in.timing, faults.SiteLHM, in.path, simtime.Duration(words)*in.timing.LHMPerWord)
 	defer in.timing.Tracer.Span(p, "pcie", "lhm-load")()
 	p.Sleep(simtime.Duration(words)*in.timing.LHMPerWord +
 		simtime.Duration(in.path.UPIHops)*in.timing.UPILatency*2)

@@ -46,6 +46,17 @@ const (
 	LinkDown
 	// ConnReset drops a wall-clock backend connection (tcpb).
 	ConnReset
+	// SlowDown is the fail-slow fault: matching operations still succeed but
+	// take Rule.Factor times their nominal cost. A window-mode SlowDown rule
+	// on one node is the canonical "sick but alive" VE — degraded DMA, slow
+	// VEOS service, a link retrained to a lower speed — that fail-stop
+	// detection never sees.
+	SlowDown
+	// Jitter adds seed-derived latency noise to matching operations, drawn
+	// uniformly in [0, Rule.JitterMax) from the plan's splitmix64 stream.
+	// Combined with SlowDown it models the erratic response times of a
+	// gray-failing card rather than a cleanly proportional slowdown.
+	Jitter
 )
 
 // String names the fault kind for diagnostics and trace events.
@@ -63,6 +74,10 @@ func (k Kind) String() string {
 		return "link-down"
 	case ConnReset:
 		return "conn-reset"
+	case SlowDown:
+		return "slow-down"
+	case Jitter:
+		return "jitter"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -88,6 +103,10 @@ const (
 	// SiteConn is a wall-clock backend's transport (locb channel, tcpb
 	// socket).
 	SiteConn
+	// SitePCIe is a PCIe link's serialization path: fail-slow rules here
+	// stretch the link occupancy itself, degrading every transfer that
+	// crosses the link (a link renegotiated to a lower generation speed).
+	SitePCIe
 )
 
 // String names the site for diagnostics and trace events.
@@ -105,6 +124,8 @@ func (s Site) String() string {
 		return "veos"
 	case SiteConn:
 		return "conn"
+	case SitePCIe:
+		return "pcie"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -145,6 +166,15 @@ type Rule struct {
 	// StallFor is the stall duration for Stall rules in op-scheduled or
 	// probabilistic mode; window-mode stalls last until Until.
 	StallFor simtime.Duration
+
+	// Factor is the latency multiplier of SlowDown rules: a matching
+	// operation of nominal cost c takes Factor×c (Factor 10 = degraded 10×).
+	// Values at or below 1 inject nothing.
+	Factor float64
+
+	// JitterMax bounds the extra latency of Jitter rules; each firing adds
+	// a seed-derived duration in [0, JitterMax).
+	JitterMax simtime.Duration
 }
 
 // Plan is a complete fault schedule: a seed for the probabilistic stream
@@ -327,6 +357,29 @@ func (in *Injector) StallDelay(now simtime.Time, node int) simtime.Duration {
 	return 0
 }
 
+// SlowDelay decides how much extra simulated latency the operation at
+// site/node suffers, given the operation's nominal cost. SlowDown rules
+// scale the nominal cost (Factor 10 returns 9×base so the total is 10×);
+// Jitter rules add noise drawn uniformly in [0, JitterMax) from the plan's
+// splitmix64 stream. Unlike TransferError the operation still succeeds:
+// this is the gray-failure hook, a node that is sick but alive.
+func (in *Injector) SlowDelay(now simtime.Time, site Site, node int, base simtime.Duration) simtime.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var extra simtime.Duration
+	if r, _, ok := in.fire(SlowDown, site, node, now); ok && r.Factor > 1 && base > 0 {
+		extra += simtime.Duration(float64(base) * (r.Factor - 1))
+	}
+	if r, op, ok := in.fire(Jitter, site, node, now); ok && r.JitterMax > 0 {
+		h := mix(in.seed, uint64(Jitter), uint64(site)<<16|uint64(node), op)
+		extra += simtime.Duration(h % uint64(r.JitterMax))
+	}
+	return extra
+}
+
 // CrashNow decides whether the VE process on node crashes at this
 // operation. The caller (the VEOS layer) records the crash; the injector
 // only schedules it.
@@ -365,6 +418,24 @@ func (in *Injector) ConnReset(node int) bool {
 	_, _, ok := in.fire(ConnReset, SiteConn, node, 0)
 	return ok
 }
+
+// Seed returns the plan seed the injector's deterministic stream is keyed
+// by (0 for a nil injector). Consumers that need their own seed-derived
+// randomness — the runtime's retry backoff and hedge-delay jitter — key it
+// off the same plan seed so one number reproduces the whole chaos run.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Mix is the exported splitmix64 finalizer behind every seed-derived
+// decision in this package. Other packages that need deterministic
+// pseudo-randomness (core's backoff and hedge-delay jitter) must draw from
+// this stream rather than rolling their own source, so a chaos plan's seed
+// governs every random choice of the run.
+func Mix(vals ...uint64) uint64 { return mix(vals...) }
 
 // mix folds the inputs through a splitmix64-style finalizer — a fixed,
 // platform-independent stream that stands in for math/rand.

@@ -192,3 +192,123 @@ func TestCrashAndReset(t *testing.T) {
 		t.Fatal("reset on unmatched node")
 	}
 }
+
+func TestSlowDelayNilAndUnmatched(t *testing.T) {
+	var nilIn *Injector
+	if d := nilIn.SlowDelay(0, SiteVEOS, 1, simtime.Microsecond); d != 0 {
+		t.Fatalf("nil injector slowed %v", d)
+	}
+	if nilIn.Seed() != 0 {
+		t.Fatal("nil injector must report seed 0")
+	}
+	in := New(&Plan{Rules: []Rule{
+		{Kind: SlowDown, Site: SiteVEOS, Node: 1, Until: simtime.Time(simtime.Second), Factor: 10},
+	}})
+	if d := in.SlowDelay(0, SiteVEOS, 2, simtime.Microsecond); d != 0 {
+		t.Fatalf("unmatched node slowed %v", d)
+	}
+	if d := in.SlowDelay(0, SiteUserDMA, 1, simtime.Microsecond); d != 0 {
+		t.Fatalf("unmatched site slowed %v", d)
+	}
+}
+
+func TestSlowDownFactorScalesBase(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{
+		{Kind: SlowDown, Site: SiteVEOS, Node: 1, Until: simtime.Time(simtime.Second), Factor: 10},
+	}})
+	base := 18 * simtime.Microsecond
+	// Factor 10 means the operation takes 10× its nominal cost: the hook
+	// returns the *extra* 9× the caller sleeps on top of the base.
+	if d := in.SlowDelay(0, SiteVEOS, 1, base); d != 9*base {
+		t.Fatalf("SlowDelay = %v, want %v", d, 9*base)
+	}
+	// Outside the window the node runs at full speed again.
+	if d := in.SlowDelay(simtime.Time(2*simtime.Second), SiteVEOS, 1, base); d != 0 {
+		t.Fatalf("slow-down fired outside its window: %v", d)
+	}
+	// Factor <= 1 and zero base inject nothing.
+	if d := in.SlowDelay(0, SiteVEOS, 1, 0); d != 0 {
+		t.Fatalf("zero base slowed %v", d)
+	}
+	lame := New(&Plan{Rules: []Rule{
+		{Kind: SlowDown, Site: SiteVEOS, Node: 1, Until: simtime.Time(simtime.Second), Factor: 1},
+	}})
+	if d := lame.SlowDelay(0, SiteVEOS, 1, base); d != 0 {
+		t.Fatalf("factor 1 slowed %v", d)
+	}
+}
+
+func TestJitterIsBoundedAndSeedDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 99, Rules: []Rule{
+		{Kind: Jitter, Site: SitePCIe, Node: AnyNode, Rate: 1, JitterMax: 4 * simtime.Microsecond},
+	}}
+	run := func() []simtime.Duration {
+		in := New(plan)
+		var ds []simtime.Duration
+		for op := 0; op < 32; op++ {
+			ds = append(ds, in.SlowDelay(0, SitePCIe, 0, simtime.Microsecond))
+		}
+		return ds
+	}
+	a, b := run(), run()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: jitter not reproducible across identical plans (%v vs %v)", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= 4*simtime.Microsecond {
+			t.Fatalf("op %d: jitter %v outside [0, JitterMax)", i, a[i])
+		}
+		if i > 0 && a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("32 jitter draws were all identical; the stream should vary per op")
+	}
+	// A different seed draws a different stream.
+	other := New(&Plan{Seed: 100, Rules: plan.Rules})
+	diff := false
+	for op := 0; op < 32; op++ {
+		if other.SlowDelay(0, SitePCIe, 0, simtime.Microsecond) != a[op] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+func TestSlowDownAndJitterCompose(t *testing.T) {
+	in := New(&Plan{Seed: 7, Rules: []Rule{
+		{Kind: SlowDown, Site: SiteVEOS, Node: 1, Until: simtime.Time(simtime.Second), Factor: 3},
+		{Kind: Jitter, Site: SiteVEOS, Node: 1, Rate: 1, JitterMax: simtime.Microsecond},
+	}})
+	base := 10 * simtime.Microsecond
+	d := in.SlowDelay(0, SiteVEOS, 1, base)
+	if d < 2*base || d >= 2*base+simtime.Microsecond {
+		t.Fatalf("composed delay %v outside [%v, %v)", d, 2*base, 2*base+simtime.Microsecond)
+	}
+	if in.Injected() < 2 {
+		t.Fatalf("Injected = %d, want both rules counted", in.Injected())
+	}
+}
+
+func TestMixMatchesInternalStream(t *testing.T) {
+	if Mix(1, 2, 3) != mix(1, 2, 3) {
+		t.Fatal("exported Mix must be the injector's own stream")
+	}
+	if Mix(1) == Mix(2) {
+		t.Fatal("Mix must spread distinct inputs")
+	}
+}
+
+func TestNewKindAndSiteStrings(t *testing.T) {
+	if SlowDown.String() != "slow-down" || Jitter.String() != "jitter" {
+		t.Fatalf("kind strings = %q, %q", SlowDown.String(), Jitter.String())
+	}
+	if SitePCIe.String() != "pcie" {
+		t.Fatalf("SitePCIe.String() = %q", SitePCIe.String())
+	}
+}

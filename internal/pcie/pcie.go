@@ -9,6 +9,7 @@ package pcie
 import (
 	"fmt"
 
+	"hamoffload/internal/faults"
 	"hamoffload/internal/simtime"
 	"hamoffload/internal/topology"
 )
@@ -68,11 +69,22 @@ func (l *Link) WireTime(n int64) simtime.Duration {
 // transfers in the same direction drain. It does not include propagation
 // latency; callers add Latency separately so that pipelined engines can
 // overlap occupancy with their own bookkeeping.
+//
+// A fail-slow rule at SitePCIe stretches the occupancy itself — the model
+// of a link renegotiated to a lower generation speed — so a degraded link
+// slows every transfer that crosses it, in both directions.
 func (l *Link) Occupy(p *simtime.Proc, dir Direction, n int64) {
 	if n <= 0 {
 		return
 	}
-	l.channel[dir].Use(p, l.WireTime(n))
+	wire := l.WireTime(n)
+	if l.timing.Faults != nil {
+		if d := l.timing.Faults.SlowDelay(p.Now(), faults.SitePCIe, l.ve, wire); d > 0 {
+			l.timing.Tracer.Instant(p, "fault", "slow-down pcie")
+			wire += d
+		}
+	}
+	l.channel[dir].Use(p, wire)
 	l.moved[dir] += n
 }
 

@@ -90,6 +90,9 @@ const (
 	SeriesOccupancy = "batch.occupancy"  // counter: messages per shipped frame
 	SeriesRetries   = "offload.retries"  // counter: retransmissions per target node
 	SeriesBytes     = "wire.bytes"       // counter: wire bytes shipped per target node
+	SeriesHedges    = "offload.hedges"   // counter: hedged re-issues per hedge-target node
+	SeriesHealth    = "health.ewma"      // gauge: latency EWMA per target node (picoseconds)
+	SeriesBreaker   = "health.breaker"   // gauge: breaker state per target node (0 closed, 1 open, 2 half-open)
 )
 
 // Collector owns all telemetry of one simulated application: the host and

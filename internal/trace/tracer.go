@@ -50,6 +50,12 @@ const (
 	// N coalesced messages in one backend call, and the target-side loop
 	// that executes them back to back.
 	PhaseBatch Phase = "batch"
+	// PhaseHedge marks a hedged request being issued: the speculative second
+	// copy of a slow offload, sent to a healthy node (instant event).
+	PhaseHedge Phase = "hedge"
+	// PhaseBreaker marks a circuit-breaker state transition on a target node
+	// (closed → open → half-open → closed; instant event).
+	PhaseBreaker Phase = "breaker"
 )
 
 // NodeInfra marks spans recorded by shared infrastructure (DMA engines, VEO

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hamoffload/internal/dma"
+	"hamoffload/internal/faults"
 	"hamoffload/internal/hostmem"
 	"hamoffload/internal/mem"
 	"hamoffload/internal/pcie"
@@ -121,12 +122,17 @@ func (c *Card) Kill() {
 }
 
 // enterVEOS runs the shared fault hooks of every VEOS daemon entry point:
-// a scheduled stall window delays the caller, a scheduled crash kills the
-// card, and a dead card refuses service.
+// a scheduled stall window delays the caller, a fail-slow rule stretches
+// the daemon's IPC service time, a scheduled crash kills the card, and a
+// dead card refuses service.
 func (c *Card) enterVEOS(p *simtime.Proc) error {
 	if inj := c.Timing.Faults; inj != nil {
 		if d := inj.StallDelay(p.Now(), c.ID); d > 0 {
 			c.Timing.Tracer.Instant(p, "fault", "veos-stall")
+			p.Sleep(d)
+		}
+		if d := inj.SlowDelay(p.Now(), faults.SiteVEOS, c.ID, c.Timing.IPCUserVEOS); d > 0 {
+			c.Timing.Tracer.Instant(p, "fault", "slow-down veos")
 			p.Sleep(d)
 		}
 		if inj.CrashNow(p.Now(), c.ID) {

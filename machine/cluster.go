@@ -108,5 +108,7 @@ func ConnectCluster(p *Proc, c *Cluster, opts ProtocolOptions) (*core.Runtime, e
 	rt.SetTelemetry(c.Nodes[0].Timing.Telemetry, p)
 	rt.SetFaultTolerance(opts.Retry)
 	rt.SetBatching(opts.Batch)
+	rt.SetHedging(opts.Hedge)
+	rt.SetRetryBudget(opts.RetryBudget)
 	return rt, nil
 }

@@ -208,6 +208,16 @@ type ProtocolOptions struct {
 	// value disables batching and keeps wire bytes bit-identical to the
 	// plain protocol; see core.BatchPolicy.
 	Batch core.BatchPolicy
+	// Hedge arms hedged requests: an offload still in flight after the
+	// configured simulated delay is speculatively re-issued to a second
+	// healthy VE and the first settled copy wins. Requires Retry (the
+	// envelope's sequence numbers make the duplicate safe); the zero value
+	// disables hedging. See core.HedgePolicy.
+	Hedge core.HedgePolicy
+	// RetryBudget is the per-target token bucket shared by retries and
+	// hedges, bounding how much extra traffic resilience machinery can aim
+	// at a degraded VE. The zero value is unbudgeted; see core.RetryBudget.
+	RetryBudget core.RetryBudget
 }
 
 func (o ProtocolOptions) cards(m *Machine) []*veos.Card {
@@ -235,6 +245,8 @@ func ConnectVEO(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	rt.SetTelemetry(m.Timing.Telemetry, p)
 	rt.SetFaultTolerance(opts.Retry)
 	rt.SetBatching(opts.Batch)
+	rt.SetHedging(opts.Hedge)
+	rt.SetRetryBudget(opts.RetryBudget)
 	return rt, nil
 }
 
@@ -257,5 +269,7 @@ func ConnectDMA(p *Proc, m *Machine, opts ProtocolOptions) (*core.Runtime, error
 	rt.SetTelemetry(m.Timing.Telemetry, p)
 	rt.SetFaultTolerance(opts.Retry)
 	rt.SetBatching(opts.Batch)
+	rt.SetHedging(opts.Hedge)
+	rt.SetRetryBudget(opts.RetryBudget)
 	return rt, nil
 }

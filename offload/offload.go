@@ -80,6 +80,20 @@ const HostNode = core.HostNode
 // machine.ProtocolOptions.Retry). The zero value disables retries.
 type FaultTolerance = core.FaultTolerance
 
+// HedgePolicy arms hedged requests against fail-slow (gray) targets: an
+// offload still in flight after the configured simulated delay is
+// speculatively re-issued to a second healthy node and the first settled
+// copy wins. Install it with rt.SetHedging (or through
+// machine.ProtocolOptions.Hedge); requires FaultTolerance. The zero value
+// disables hedging.
+type HedgePolicy = core.HedgePolicy
+
+// RetryBudget is the per-target token bucket shared by retries and hedges,
+// capping the extra traffic resilience machinery may aim at a degraded
+// node. Install it with rt.SetRetryBudget (or through
+// machine.ProtocolOptions.RetryBudget). The zero value is unbudgeted.
+type RetryBudget = core.RetryBudget
+
 // Failure classification for offload errors, re-exported from core. Match
 // with errors.Is; see docs/FAULTS.md.
 var (

@@ -18,6 +18,8 @@ import (
 	"fmt"
 
 	"hamoffload/internal/core"
+	"hamoffload/internal/simtime"
+	"hamoffload/sched/health"
 )
 
 // Policy decides placement: given the task index, the candidate nodes and
@@ -86,6 +88,70 @@ func (a affinity) Pick(task int, nodes []core.NodeID, inflight []int) int {
 		}
 	}
 	return task % len(nodes)
+}
+
+// HealthAware composes a placement policy with a health tracker: candidate
+// nodes whose circuit breaker is open are filtered out before the inner
+// policy picks, so traffic routes around ejected nodes; the one node
+// actually picked is committed back to the tracker, which is how an open
+// breaker's probe slot gets consumed. When every candidate is ejected the
+// policy fails open — degraded service beats no service — and the inner
+// policy picks over the full set.
+//
+// Used as a Scheduler's policy, the scheduler feeds every settled task's
+// (node, latency, outcome) back into the tracker automatically, closing
+// the observe → score → eject → probe → re-admit loop.
+func HealthAware(inner Policy, t *health.Tracker) Policy {
+	return &healthAware{inner: inner, trk: t}
+}
+
+type healthAware struct {
+	inner Policy
+	trk   *health.Tracker
+
+	// Pick scratch, reused across calls to keep placement allocation-free.
+	fnodes    []core.NodeID
+	finflight []int
+	fidx      []int
+}
+
+func (h *healthAware) Name() string { return "health+" + h.inner.Name() }
+
+func (h *healthAware) Pick(task int, nodes []core.NodeID, inflight []int) int {
+	h.fnodes, h.finflight, h.fidx = h.fnodes[:0], h.finflight[:0], h.fidx[:0]
+	for i, n := range nodes {
+		if h.trk.Allows(n) {
+			h.fnodes = append(h.fnodes, n)
+			h.finflight = append(h.finflight, inflight[i])
+			h.fidx = append(h.fidx, i)
+		}
+	}
+	if len(h.fnodes) == 0 {
+		i := h.inner.Pick(task, nodes, inflight)
+		if i < 0 || i >= len(nodes) {
+			i = task % len(nodes)
+		}
+		h.trk.CommitAdmit(nodes[i])
+		return i
+	}
+	j := h.inner.Pick(task, h.fnodes, h.finflight)
+	if j < 0 || j >= len(h.fnodes) {
+		j = task % len(h.fnodes)
+	}
+	i := h.fidx[j]
+	h.trk.CommitAdmit(nodes[i])
+	return i
+}
+
+func (h *healthAware) observe(n core.NodeID, lat simtime.Duration, failed bool) {
+	h.trk.Observe(n, lat, failed)
+}
+
+// settleObserver is implemented by policies that want task settlements fed
+// back to them (healthAware feeds its tracker). The scheduler detects it
+// and wires the observations into future settlement.
+type settleObserver interface {
+	observe(n core.NodeID, lat simtime.Duration, failed bool)
 }
 
 // Scheduler shards offloads across a fixed node set under a Policy. Like
@@ -168,17 +234,31 @@ func (s *Scheduler) place(task int) int {
 // runtime's batch frames when batching is armed.
 func MapFutures[R any](s *Scheduler, n int, gen func(task int) core.Functor[R]) []*core.Future[R] {
 	b := core.NewBatcher(s.rt)
+	obs, observing := s.pol.(settleObserver)
 	futs := make([]*core.Future[R], n)
 	for task := 0; task < n; task++ {
 		i := s.place(task)
-		f := core.BatchAdd(b, s.nodes[i], gen(task))
-		s.rt.NotePlacement(s.pol.Name(), s.nodes[i])
+		node := s.nodes[i]
+		f := core.BatchAdd(b, node, gen(task))
+		s.rt.NotePlacement(s.pol.Name(), node)
 		s.inflight[i]++
 		s.issued++
-		f.OnSettle(func() {
-			s.inflight[i]--
-			s.done++
-		})
+		if observing {
+			// Feed the settlement back to the policy: Get inside OnSettle
+			// returns the already-cached outcome, so this never blocks.
+			start := s.rt.SimNow()
+			f.OnSettle(func() {
+				s.inflight[i]--
+				s.done++
+				_, err := f.Get()
+				obs.observe(node, s.rt.SimNow().Sub(start), err != nil)
+			})
+		} else {
+			f.OnSettle(func() {
+				s.inflight[i]--
+				s.done++
+			})
+		}
 		futs[task] = f
 	}
 	b.FlushAll()
