@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check test race bench bench-check gobench repro examples fmt vet lint cover
+.PHONY: all check test race bench bench-check gobench repro examples fmt vet lint cover cover-check shuffle
 
 all: check
 
@@ -15,6 +15,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Shuffled test order: inter-test state leaks (shared package globals, leaked
+# goroutines, order-dependent registries) surface as flakes here first.
+shuffle:
+	$(GO) test -shuffle=on ./...
 
 # Benchmark-regression harness: rerun the Fig. 9 and batch experiments and
 # refresh the committed BENCH_fig9.json / BENCH_batch.json baselines.
@@ -58,3 +63,9 @@ lint:
 
 cover:
 	$(GO) test -cover ./...
+
+# Coverage-regression harness: fail if the guarded packages (gateway, sched,
+# internal/core) fall below the floors recorded in COVER_baseline.txt.
+# Refresh the floors with `go run ./cmd/coverreg`.
+cover-check:
+	$(GO) run ./cmd/coverreg -check

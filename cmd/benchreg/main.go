@@ -3,16 +3,19 @@
 // committed JSON baselines or verifies a fresh run against them:
 //
 //	benchreg                 rerun and (re)write BENCH_fig9.json, BENCH_batch.json,
-//	                         BENCH_resilience.json, BENCH_engine.json
+//	                         BENCH_resilience.json, BENCH_serving.json, BENCH_engine.json
 //	benchreg -check          rerun and fail if any stat regresses beyond -tol
 //	benchreg -check -tol 0   demand bit-exact reproduction (simulated time is
 //	                         deterministic, so this holds on an unchanged tree)
 //
-// In both modes it also enforces two design targets: a 16-message batch's
+// In both modes it also enforces three design targets: a 16-message batch's
 // amortised per-message empty-offload cost must stay at or below half the
-// single-message DMA-protocol cost (see docs/BATCHING.md), and with one of
+// single-message DMA-protocol cost (see docs/BATCHING.md); with one of
 // two VEs degraded 10x, hedging plus health-aware scheduling must recover
-// at least 2x of the baseline's p99.9 offload latency (see docs/FAULTS.md).
+// at least 2x of the baseline's p99.9 offload latency (see docs/FAULTS.md);
+// and on the million-offload serving sweep, latency-critical traffic must
+// keep a p99 at or below half the best-effort p99 on the same saturated
+// fleet (see docs/SERVING.md).
 //
 // BENCH_engine.json is the DES engine's own profile over the telemetry
 // workload. Its simulated-clock fields (event count, final time, queue
@@ -32,6 +35,7 @@ import (
 const (
 	amortisationGate = 0.5 // batch-16 per-msg mean <= 50% of single-dma mean
 	resilienceGate   = 2.0 // baseline p99.9 / hedged-breaker p99.9 >= 2x
+	servingGate      = 0.5 // latency-critical p99 <= 50% of best-effort p99
 )
 
 func main() {
@@ -59,6 +63,11 @@ func main() {
 	resilience, err := bench.ResilienceReport(bench.ResilienceConfig{})
 	if err != nil {
 		fail("resilience: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "benchreg: running serving experiment (10^6 offloads)...")
+	serving, err := bench.ServingReport(bench.ServingConfig{})
+	if err != nil {
+		fail("serving: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "benchreg: profiling the DES engine on the telemetry workload...")
 	engine, err := bench.EngineProfileReport(bench.TelemetryConfig{})
@@ -94,6 +103,19 @@ func main() {
 			recovered, resilienceGate)
 	}
 
+	slc, ok1 := serving.Entry("latency-critical")
+	sbe, ok2 := serving.Entry("best-effort")
+	if !ok1 || !ok2 {
+		fail("serving report is missing latency-critical or best-effort")
+	}
+	qos := slc.P99US / sbe.P99US
+	fmt.Fprintf(os.Stderr, "benchreg: serving p99 latency-critical %.2f us vs best-effort %.2f us (ratio %.2f, gate %.2f)\n",
+		slc.P99US, sbe.P99US, qos, servingGate)
+	if qos > servingGate {
+		fail("serving QoS gate failed: latency-critical p99 is %.0f%% of best-effort p99 (target <= %.0f%%)",
+			qos*100, servingGate*100)
+	}
+
 	reports := []struct {
 		path string
 		rep  bench.Report
@@ -101,6 +123,7 @@ func main() {
 		{filepath.Join(*dir, "BENCH_fig9.json"), fig9},
 		{filepath.Join(*dir, "BENCH_batch.json"), batch},
 		{filepath.Join(*dir, "BENCH_resilience.json"), resilience},
+		{filepath.Join(*dir, "BENCH_serving.json"), serving},
 	}
 
 	enginePath := filepath.Join(*dir, "BENCH_engine.json")

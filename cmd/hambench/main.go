@@ -20,6 +20,7 @@
 //	hambench -exp batch               batched-message amortisation vs Fig. 9 baseline
 //	hambench -exp resilience          gray-failure tail latency: hedging + circuit breakers
 //	hambench -exp telemetry           continuous telemetry: sparklines, SLO table, causal flows
+//	hambench -exp serving             million-offload serving gateway: QoS, quotas, stealing
 //	hambench -exp all                 everything above
 //
 // Additional flags: -hist prints per-offload latency histograms with fig9;
@@ -48,8 +49,31 @@ import (
 	"hamoffload/internal/units"
 )
 
+// experiments lists every valid -exp name, in the order the runs are
+// registered below. An unknown name is an error that prints this list —
+// silently running nothing buries typos.
+var experiments = []string{
+	"fig9", "breakdown", "fig10", "table4", "crossover",
+	"ablate-hugepages", "ablate-4dma", "ablate-poll", "ablate-buffers",
+	"ablate-granularity", "remote", "putget", "native-vs-offload",
+	"faults", "batch", "resilience", "telemetry", "serving",
+	"ablate-result-path",
+}
+
+func knownExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, e := range experiments {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, batch, resilience, telemetry, all)")
+	exp := flag.String("exp", "all", "experiment id (fig9, breakdown, fig10, table4, crossover, ablate-{hugepages,4dma,poll,buffers,result-path,granularity}, native-vs-offload, remote, putget, faults, batch, resilience, telemetry, serving, all)")
 	socket := flag.Int("socket", 0, "VH socket to offload from (fig9)")
 	reps := flag.Int("reps", 0, "timed repetitions per point (0 = defaults)")
 	maxSize := flag.Int64("max-size", (256 * units.MiB).Int64(), "largest transfer size for sweeps")
@@ -61,6 +85,14 @@ func main() {
 	flowsPath := flag.String("flows", "", "write the telemetry experiment's causal flows as Chrome trace-event JSON to this file")
 	foldedPath := flag.String("folded", "", "write the telemetry experiment's causal flows as folded flamegraph stacks to this file")
 	flag.Parse()
+
+	if !knownExperiment(*exp) {
+		fmt.Fprintf(os.Stderr, "hambench: unknown experiment %q; valid names:\n  all\n", *exp)
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+		os.Exit(2)
+	}
 
 	var tracer *trace.Tracer
 	if *tracePath != "" {
@@ -351,6 +383,15 @@ func main() {
 		return export(*foldedPath, func(f *os.File) error {
 			return res.Collector.ExportFolded(f)
 		})
+	})
+
+	run("serving", func() error {
+		res, err := bench.Serving(bench.ServingConfig{Offloads: *reps, Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		bench.RenderServing(os.Stdout, res)
+		return nil
 	})
 
 	run("ablate-result-path", func() error {

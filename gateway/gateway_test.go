@@ -1,0 +1,255 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"hamoffload/gateway"
+	"hamoffload/internal/faults"
+	"hamoffload/machine"
+	"hamoffload/offload"
+	"hamoffload/sched"
+)
+
+// gwWork is the test kernel: a small roofline-charged vector loop so
+// offloads take a few microseconds of simulated time each.
+var gwWork = offload.NewFunc1[offload.Unit]("gateway.test_work",
+	func(c *offload.Ctx, n int64) (offload.Unit, error) {
+		c.ChargeVector(n*100_000, n*12_500, 8)
+		return offload.Unit{}, nil
+	})
+
+// withGateway runs fn on a fresh simulated machine with a DMA-connected
+// runtime and a gateway over its VE nodes.
+func withGateway(t *testing.T, ves int, cfg gateway.Config, fn func(p *machine.Proc, gw *gateway.Gateway[offload.Unit])) {
+	t.Helper()
+	m, err := machine.New(machine.Config{VEs: ves})
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	err = m.RunMain(func(p *machine.Proc) error {
+		rt, cerr := machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		if cerr != nil {
+			return cerr
+		}
+		defer func() { _ = rt.Finalize() }()
+		nodes := make([]offload.NodeID, ves)
+		for i := range nodes {
+			nodes[i] = offload.NodeID(i + 1)
+		}
+		gw, gerr := gateway.New[offload.Unit](rt, nodes, cfg)
+		if gerr != nil {
+			return gerr
+		}
+		fn(p, gw)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunMain: %v", err)
+	}
+}
+
+func TestTenantQuotaRefill(t *testing.T) {
+	cfg := gateway.Config{
+		Tenants: []gateway.TenantConfig{
+			{Name: "metered", Burst: 2, Refill: 10 * machine.Microsecond},
+			{Name: "free"},
+		},
+	}
+	withGateway(t, 2, cfg, func(p *machine.Proc, gw *gateway.Gateway[offload.Unit]) {
+		// Burst of 2 admits exactly 2.
+		for i := 0; i < 2; i++ {
+			if _, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1)); err != nil {
+				t.Fatalf("submit %d within burst: %v", i, err)
+			}
+		}
+		if _, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1)); !errors.Is(err, gateway.ErrQuota) {
+			t.Fatalf("want ErrQuota past burst, got %v", err)
+		}
+		// The unmetered tenant is unaffected.
+		if _, err := gw.Submit(1, gateway.Batch, gwWork.Bind(1)); err != nil {
+			t.Fatalf("unmetered tenant rejected: %v", err)
+		}
+		// One Refill interval restores exactly one token.
+		p.Sleep(10 * machine.Microsecond)
+		if _, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1)); err != nil {
+			t.Fatalf("submit after refill: %v", err)
+		}
+		if _, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1)); !errors.Is(err, gateway.ErrQuota) {
+			t.Fatalf("want ErrQuota after spending refilled token, got %v", err)
+		}
+		// A long idle refills to Burst, not beyond.
+		p.Sleep(100 * machine.Microsecond)
+		for i := 0; i < 2; i++ {
+			if _, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1)); err != nil {
+				t.Fatalf("submit %d after long idle: %v", i, err)
+			}
+		}
+		if _, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1)); !errors.Is(err, gateway.ErrQuota) {
+			t.Fatalf("want ErrQuota: bucket must cap at Burst, got %v", err)
+		}
+		gw.Drain()
+		r := gw.Report()
+		if r.Tenants[0].Admitted != 5 || r.Tenants[0].Rejected != 3 {
+			t.Fatalf("tenant 0 accounting = %+v, want 5 admitted / 3 rejected", r.Tenants[0])
+		}
+	})
+}
+
+func TestClassShareOverload(t *testing.T) {
+	// MaxQueued 10 with 6:3:1 weights gives strict queue shares 6/3/1.
+	cfg := gateway.Config{MaxQueued: 10, Window: 1, MaxBatch: 1}
+	withGateway(t, 1, cfg, func(p *machine.Proc, gw *gateway.Gateway[offload.Unit]) {
+		// First best-effort issues immediately (window 1), second queues and
+		// fills the class's share of 1, third must bounce.
+		for i := 0; i < 2; i++ {
+			if _, err := gw.Submit(0, gateway.BestEffort, gwWork.Bind(1)); err != nil {
+				t.Fatalf("best-effort %d: %v", i, err)
+			}
+		}
+		if _, err := gw.Submit(0, gateway.BestEffort, gwWork.Bind(1)); !errors.Is(err, gateway.ErrOverloaded) {
+			t.Fatalf("want ErrOverloaded for best-effort past share, got %v", err)
+		}
+		// Batch share (3) is untouched by best-effort pressure.
+		for i := 0; i < 3; i++ {
+			if _, err := gw.Submit(0, gateway.Batch, gwWork.Bind(1)); err != nil {
+				t.Fatalf("batch %d: %v", i, err)
+			}
+		}
+		if _, err := gw.Submit(0, gateway.Batch, gwWork.Bind(1)); !errors.Is(err, gateway.ErrOverloaded) {
+			t.Fatalf("want ErrOverloaded for batch past share, got %v", err)
+		}
+		// Latency-critical share (6) still has full headroom.
+		for i := 0; i < 6; i++ {
+			if _, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1)); err != nil {
+				t.Fatalf("latency-critical %d: %v", i, err)
+			}
+		}
+		gw.Drain()
+		r := gw.Report()
+		if got := r.Classes[gateway.BestEffort].RejectedShare; got != 1 {
+			t.Fatalf("best-effort share rejections = %d, want 1", got)
+		}
+		if got := r.Classes[gateway.Batch].RejectedShare; got != 1 {
+			t.Fatalf("batch share rejections = %d, want 1", got)
+		}
+		if got := r.Classes[gateway.LatencyCritical].RejectedShare; got != 0 {
+			t.Fatalf("latency-critical share rejections = %d, want 0", got)
+		}
+	})
+}
+
+func TestWorkStealing(t *testing.T) {
+	// Pin every placement onto VE 1; VE 2 only gets work by stealing.
+	cfg := gateway.Config{
+		Window:    2,
+		MaxBatch:  1,
+		Placement: sched.Affinity(func(task int) offload.NodeID { return 1 }),
+	}
+	withGateway(t, 2, cfg, func(p *machine.Proc, gw *gateway.Gateway[offload.Unit]) {
+		tks := make([]*gateway.Ticket[offload.Unit], 0, 16)
+		for i := 0; i < 16; i++ {
+			tk, err := gw.Submit(0, gateway.LatencyCritical, gwWork.Bind(1))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			tks = append(tks, tk)
+		}
+		gw.Drain()
+		if gw.Steals() == 0 {
+			t.Fatal("expected the idle VE to steal from the pinned queue")
+		}
+		r := gw.Report()
+		if r.VEs[1].StolenIn == 0 || r.VEs[1].Issued == 0 {
+			t.Fatalf("VE 2 should have stolen and issued work: %+v", r.VEs[1])
+		}
+		if r.VEs[0].Issued+r.VEs[1].Issued != 16 {
+			t.Fatalf("issued %d + %d, want 16 total", r.VEs[0].Issued, r.VEs[1].Issued)
+		}
+		for i, tk := range tks {
+			if !tk.Done() || tk.Err() != nil {
+				t.Fatalf("ticket %d not cleanly settled: done=%v err=%v", i, tk.Done(), tk.Err())
+			}
+		}
+	})
+}
+
+func TestInvalidSubmits(t *testing.T) {
+	withGateway(t, 1, gateway.Config{}, func(p *machine.Proc, gw *gateway.Gateway[offload.Unit]) {
+		if _, err := gw.Submit(1, gateway.Batch, gwWork.Bind(1)); !errors.Is(err, gateway.ErrTenant) {
+			t.Fatalf("want ErrTenant for tenant out of range, got %v", err)
+		}
+		if _, err := gw.Submit(-1, gateway.Batch, gwWork.Bind(1)); !errors.Is(err, gateway.ErrTenant) {
+			t.Fatalf("want ErrTenant for negative tenant, got %v", err)
+		}
+		if _, err := gw.Submit(0, gateway.Class(7), gwWork.Bind(1)); err == nil {
+			t.Fatal("want error for invalid class")
+		}
+		gw.Drain()
+	})
+}
+
+// runMixed drives one deterministic mixed workload and returns the report
+// serialised to JSON.
+func runMixed(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	cfg := gateway.Config{
+		Window:   4,
+		MaxBatch: 4,
+		Tenants: []gateway.TenantConfig{
+			{Name: "starved", Burst: 8, Refill: 20 * machine.Microsecond},
+			{Name: "heavy"},
+		},
+		KeepSamples: true,
+	}
+	var out []byte
+	withGateway(t, 4, cfg, func(p *machine.Proc, gw *gateway.Gateway[offload.Unit]) {
+		for i := 0; i < 600; i++ {
+			r := faults.Mix(seed, uint64(i))
+			class := gateway.Class(r % 3)
+			tenant := int(r >> 8 % 2)
+			_, err := gw.Submit(tenant, class, gwWork.Bind(int64(1+r%4)))
+			if err != nil && !errors.Is(err, gateway.ErrQuota) && !errors.Is(err, gateway.ErrOverloaded) {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			if r%5 == 0 {
+				p.Sleep(machine.Duration(1+r%3) * machine.Microsecond)
+				gw.Poll()
+			}
+		}
+		gw.Drain()
+		r := gw.Report()
+		var sum int64
+		for _, c := range r.Classes {
+			if c.Completed != c.Admitted {
+				t.Fatalf("class %s: completed %d != admitted %d", c.Class, c.Completed, c.Admitted)
+			}
+			if c.Failed != 0 {
+				t.Fatalf("class %s: %d failures", c.Class, c.Failed)
+			}
+			sum += c.Admitted + c.RejectedQuota + c.RejectedShare
+		}
+		if sum != r.Submitted || r.Submitted != 600 {
+			t.Fatalf("accounting leak: classes sum to %d, submitted %d", sum, r.Submitted)
+		}
+		var err error
+		out, err = json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+	})
+	return out
+}
+
+func TestMixedWorkloadDeterministic(t *testing.T) {
+	a := runMixed(t, 0xC0FFEE)
+	b := runMixed(t, 0xC0FFEE)
+	if string(a) != string(b) {
+		t.Fatal("same seed must produce a byte-identical report")
+	}
+	c := runMixed(t, 0xBEEF)
+	if string(a) == string(c) {
+		t.Fatal("different seeds should not collide byte-for-byte")
+	}
+}

@@ -39,6 +39,10 @@ var desPackages = []string{
 	// telemetry records simulated-clock series and SLO windows; only its
 	// engine profiler reads the wall clock, under //lint:allow walltime.
 	"hamoffload/internal/telemetry",
+	// The serving gateway admits, quotas and steals on the simulated clock:
+	// token buckets refill arithmetically from simtime, SLO windows ride the
+	// telemetry series, and placement is a pure function of queue state.
+	"hamoffload/gateway",
 }
 
 // wallClockPackages are allowed to use real time and raw goroutines: they
@@ -73,6 +77,8 @@ var deterministicOutputPackages = []string{
 	// telemetry's renders and exports (sparklines, SLO table, Chrome flows,
 	// folded stacks) are diffed byte-for-byte in CI.
 	"hamoffload/internal/telemetry",
+	// the gateway's Report feeds the byte-compared serving experiment output
+	"hamoffload/gateway",
 }
 
 // unitcastExempt own the unit types and may convert freely.
@@ -218,6 +224,7 @@ var PolicyExempt = []string{
 	"hamoffload/offload",           // user-facing offload API over internal/core
 	"hamoffload/machine",           // cluster assembly; bridges simulated and host worlds
 	"hamoffload/cmd/hamlint",       // the lint driver itself
+	"hamoffload/cmd/coverreg",      // coverage harness; shells out to go test on the wall clock
 	"hamoffload/examples",          // demo programs, free to use either clock
 	"hamoffload/internal/analysis", // the analyzers and their fixtures
 }

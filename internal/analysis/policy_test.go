@@ -21,6 +21,8 @@ func TestPolicyScoping(t *testing.T) {
 		// sched/health rides under the sched prefix: breaker cooldowns are
 		// measured on the caller-supplied simulated clock, never the wall one.
 		{"walltime", "hamoffload/sched/health", true},
+		// The serving gateway quotas and steals on the simulated clock.
+		{"walltime", "hamoffload/gateway", true},
 		{"walltime", "hamoffload/internal/backend/tcpb", false},
 		{"walltime", "hamoffload/internal/backend/mpib", false},
 		{"walltime", "hamoffload/internal/trace", false}, // owns WallClock
@@ -30,6 +32,7 @@ func TestPolicyScoping(t *testing.T) {
 		{"goroutine", "hamoffload/internal/simtime", true},
 		{"goroutine", "hamoffload/internal/core", true},
 		{"goroutine", "hamoffload/sched/health", true},
+		{"goroutine", "hamoffload/gateway", true},
 		{"goroutine", "hamoffload/internal/backend/tcpb", false},
 		{"goroutine", "hamoffload/internal/backend/mpib", false},
 
@@ -44,6 +47,8 @@ func TestPolicyScoping(t *testing.T) {
 		{"detmap", "hamoffload/internal/faults", true},
 		{"detmap", "hamoffload/cmd/veinfo", true},
 		{"detmap", "hamoffload/sched/health", true},
+		// the gateway report is byte-compared across runs in the serving tests
+		{"detmap", "hamoffload/gateway", true},
 		{"detmap", "hamoffload/machine", false},
 		{"detmap", "hamoffload/internal/backend/tcpb", false},
 

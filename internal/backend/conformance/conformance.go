@@ -450,6 +450,79 @@ func ExerciseBatchRetry(t Reporter, rt *core.Runtime, target core.NodeID, inj *f
 	}
 }
 
+// ExerciseBackpressure saturates the target far past the backend's
+// in-flight capacity (the slot protocols hold 8 message slots; this issues
+// 96 asyncs back to back) and pins what saturation is allowed to look like:
+// a Call either queues behind the busy slots or rejects at submission with
+// an error — it may not hang, and above all it may not lose track of a
+// future. Every future settles exactly once (pre-registered OnSettle
+// counters catch both drops and double-settles), every successful echo
+// carries its own payload, and the futures are harvested in a deterministic
+// scattered order so late settles of early submissions must still resolve.
+// It must run in the host's execution context.
+func ExerciseBackpressure(t Reporter, rt *core.Runtime, target core.NodeID) {
+	const n = 96 // ≫ the 8 slots of the slot protocols
+	futs := make([]*core.Future[int64], n)
+	settles := make([]int, n)
+	for i := range futs {
+		f := core.Async(rt, target, cfEcho.Bind(int64(i)))
+		i := i
+		f.OnSettle(func() { settles[i]++ })
+		futs[i] = f
+	}
+
+	// Harvest in a fixed scattered order: stride 29 is coprime to 96, so the
+	// walk is a permutation that interleaves early and late submissions. A
+	// backend that recycled a slot while its old future was still unsettled
+	// would corrupt or drop one of these.
+	for k := 0; k < n; k++ {
+		i := (k * 29) % n
+		v, err := futs[i].Get()
+		if err != nil {
+			// Rejection at saturation is allowed, but only as a clean error on
+			// this future — the echo contract below catches a response that was
+			// delivered to the wrong future instead.
+			continue
+		}
+		if v != int64(i) {
+			t.Errorf("backpressure: future %d settled to %d — response crossed futures", i, v)
+		}
+	}
+	for i, c := range settles {
+		if c != 1 {
+			t.Errorf("backpressure: future %d settled %d times (want exactly once)", i, c)
+		}
+	}
+
+	// A second identical wave must behave identically: saturation may queue
+	// or reject, but deterministically — the same submission schedule yields
+	// the same per-future outcome.
+	first := make([]bool, n)
+	for i, f := range futs {
+		_, err := f.Get() // settled above; records the outcome
+		first[i] = err == nil
+	}
+	futs2 := make([]*core.Future[int64], n)
+	for i := range futs2 {
+		futs2[i] = core.Async(rt, target, cfEcho.Bind(int64(i)))
+	}
+	for k := 0; k < n; k++ {
+		i := (k * 29) % n
+		v, err := futs2[i].Get()
+		if (err == nil) != first[i] {
+			t.Errorf("backpressure: future %d outcome changed between identical waves (err %v)", i, err)
+		}
+		if err == nil && v != int64(i) {
+			t.Errorf("backpressure: second-wave future %d settled to %d", i, v)
+		}
+	}
+
+	// The backend must be fully live after both saturation waves.
+	if v, err := core.Sync(rt, target, cfEcho.Bind(4096)); err != nil || v != 4096 {
+		t.Errorf("backpressure: echo after saturation = %d, %v", v, err)
+	}
+}
+
 // ExerciseErrors pins down the error-propagation side of the contract: a
 // handler error surfaces identically through Future.Get and Future.MustGet
 // (the latter by panicking with the same error), and the backend stays live

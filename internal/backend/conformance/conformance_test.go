@@ -398,6 +398,115 @@ func TestBatchRetryConformanceSimulated(t *testing.T) {
 	}
 }
 
+// TestBackpressureConformanceLoopback saturates the in-process backend far
+// past its in-flight capacity.
+func TestBackpressureConformanceLoopback(t *testing.T) {
+	hb, tb, err := locb.NewPair(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewRuntime(tb, "conf-bp-loc-target")
+	host := core.NewRuntime(hb, "conf-bp-loc-host")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := target.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	conformance.ExerciseBackpressure(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestBackpressureConformanceTCP saturates the socket backend far past its
+// in-flight capacity.
+func TestBackpressureConformanceTCP(t *testing.T) {
+	tgt, err := tcpb.Listen("127.0.0.1:0", 1, 2, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetRT := core.NewRuntime(tgt, "conf-bp-tcp-target")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := targetRT.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	hb, err := tcpb.Dial([]string{tgt.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := core.NewRuntime(hb, "conf-bp-tcp-host")
+	conformance.ExerciseBackpressure(t, host, 1)
+	if err := host.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestBackpressureConformanceSimulated saturates both SX-Aurora protocols,
+// whose 8 message slots are the tightest in-flight bound of any backend: 96
+// concurrent asyncs force Call to park on the simulated clock until slots
+// recycle.
+func TestBackpressureConformanceSimulated(t *testing.T) {
+	for name, connect := range map[string]func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error){
+		"veo": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectVEO(p, m, machine.ProtocolOptions{})
+		},
+		"dma": func(p *machine.Proc, m *machine.Machine) (*offload.Runtime, error) {
+			return machine.ConnectDMA(p, m, machine.ProtocolOptions{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := machine.New(machine.Config{VEs: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.RunMain(func(p *machine.Proc) error {
+				rt, err := connect(p, m)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = rt.Finalize() }()
+				conformance.ExerciseBackpressure(t, rt, 1)
+				conformance.ExerciseBackpressure(t, rt, 2)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBackpressureConformanceCluster saturates a local and a remote VE over
+// the InfiniBand cluster backend.
+func TestBackpressureConformanceCluster(t *testing.T) {
+	cl, err := machine.NewCluster(2, machine.Config{VEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RunMain(func(p *machine.Proc) error {
+		rt, err := machine.ConnectCluster(p, cl, machine.ProtocolOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rt.Finalize() }()
+		conformance.ExerciseBackpressure(t, rt, 1) // local VE
+		conformance.ExerciseBackpressure(t, rt, 2) // remote VE
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestErrorsConformanceLoopback pins error propagation on the in-process
 // backend.
 func TestErrorsConformanceLoopback(t *testing.T) {

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzBatchFrame fuzzes the batch frame decoder (openBatch /
+// openBatchInto) with arbitrary bytes. The decoder sits on the target's
+// receive path, so whatever arrives on the wire — malformed, truncated,
+// count-mismatched — it must classify without panicking or over-reading:
+//
+//   - not a frame: isBatch = false, nil error, nil entries (the bytes fall
+//     through to the plain HAM / FT dispatch path);
+//   - a broken frame: isBatch = true and ErrPayloadCorrupt;
+//   - a well-formed frame: entries that alias the input and re-seal to the
+//     byte-identical frame (the codec admits exactly one encoding, so a
+//     clean parse proves the frame came from sealBatch).
+//
+// Run with `go test -fuzz FuzzBatchFrame ./internal/core` to explore; the
+// committed corpus below seeds it from valid encoder output plus the
+// classic corruption shapes.
+func FuzzBatchFrame(f *testing.F) {
+	// Valid encoder output, from empty-payload singletons up to mixed sizes.
+	for _, msgs := range [][][]byte{
+		{{}},
+		{{1, 2, 3}},
+		{{}, {0xff}, bytes.Repeat([]byte{7}, 300)},
+		{make([]byte, 1), make([]byte, 2), make([]byte, 3), make([]byte, 4)},
+	} {
+		f.Add(sealBatch(msgs))
+	}
+	// Corrupted frames: truncation, trailing garbage, count mismatches.
+	base := sealBatch([][]byte{{1, 2, 3}, {4, 5}})
+	f.Add(base[:len(base)-1])
+	f.Add(append(append([]byte(nil), base...), 0xEE))
+	over := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(over[4:8], 1<<30)
+	f.Add(over)
+	// Non-frames: plain bytes, bare magic, zeroes.
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(binary.LittleEndian.AppendUint32(nil, batMagic))
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		entries, isBatch, err := openBatch(msg)
+		if !isBatch {
+			// Plain message: it must pass through untouched, with no entries
+			// and no error, regardless of content.
+			if err != nil {
+				t.Fatalf("non-frame returned error %v", err)
+			}
+			if entries != nil {
+				t.Fatalf("non-frame returned %d entries", len(entries))
+			}
+			return
+		}
+		if err != nil {
+			// Broken frame: the error contract is ErrPayloadCorrupt so the
+			// target can answer with a failure response instead of crashing.
+			if !errors.Is(err, ErrPayloadCorrupt) {
+				t.Fatalf("broken frame error %v is not ErrPayloadCorrupt", err)
+			}
+			return
+		}
+		// Clean parse: every entry must lie inside msg (no over-read) and
+		// the entries must re-encode to the byte-identical frame.
+		total := batHeader
+		for i, e := range entries {
+			total += batPerMsg + len(e)
+			if len(e) > len(msg) {
+				t.Fatalf("entry %d longer than the whole frame", i)
+			}
+		}
+		if total != len(msg) {
+			t.Fatalf("entries span %d bytes, frame has %d", total, len(msg))
+		}
+		if !bytes.Equal(sealBatch(entries), msg) {
+			t.Fatal("clean frame did not re-seal byte-identically")
+		}
+		// openBatchInto must append after existing scratch, not clobber it.
+		scratch := [][]byte{{0xAA}}
+		into, isBatch2, err2 := openBatchInto(scratch, msg)
+		if !isBatch2 || err2 != nil {
+			t.Fatalf("openBatchInto disagreed with openBatch: batch %v, %v", isBatch2, err2)
+		}
+		if len(into) != 1+len(entries) || len(into[0]) != 1 || into[0][0] != 0xAA {
+			t.Fatal("openBatchInto clobbered the caller's scratch prefix")
+		}
+	})
+}

@@ -36,6 +36,21 @@ func newSLO(target simtime.Duration, budget float64, window simtime.Duration, ma
 	}
 }
 
+// NewSLO builds a standalone SLO tracker outside any Collector, for callers
+// that account several objectives side by side — the serving gateway keeps
+// one per QoS class. Zero or negative parameters select the Collector's
+// defaults (50 µs target, 1% budget, 100 µs windows, 64 of them).
+func NewSLO(target simtime.Duration, budget float64, window simtime.Duration, maxWin int) *SLO {
+	cfg := Config{SLOTarget: target, SLOBudget: budget, SLOWindow: window, MaxWindows: maxWin}.fill()
+	return newSLO(cfg.SLOTarget, cfg.SLOBudget, cfg.SLOWindow, cfg.MaxWindows)
+}
+
+// Observe records one completed request's latency at simulated time now.
+func (s *SLO) Observe(now simtime.Time, d simtime.Duration) { s.observe(now, d) }
+
+// Report snapshots the SLO accounting.
+func (s *SLO) Report() SLOReport { return s.report() }
+
 // observe records one offload latency completed at simulated time now.
 func (s *SLO) observe(now simtime.Time, d simtime.Duration) {
 	if d < 0 {

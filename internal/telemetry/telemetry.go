@@ -93,6 +93,14 @@ const (
 	SeriesHedges    = "offload.hedges"   // counter: hedged re-issues per hedge-target node
 	SeriesHealth    = "health.ewma"      // gauge: latency EWMA per target node (picoseconds)
 	SeriesBreaker   = "health.breaker"   // gauge: breaker state per target node (0 closed, 1 open, 2 half-open)
+
+	// Serving-gateway series (see the gateway package): queue depths and
+	// steals are recorded per target VE; admission counters are gateway-wide
+	// and recorded on the host node.
+	SeriesGatewayQueue  = "gateway.queue"   // gauge: queued requests per VE
+	SeriesGatewaySteals = "gateway.steals"  // counter: requests stolen into an idling VE
+	SeriesGatewayAdmit  = "gateway.admits"  // counter: admitted requests (host node)
+	SeriesGatewayReject = "gateway.rejects" // counter: rejected requests (host node)
 )
 
 // Collector owns all telemetry of one simulated application: the host and

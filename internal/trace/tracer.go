@@ -56,6 +56,14 @@ const (
 	// PhaseBreaker marks a circuit-breaker state transition on a target node
 	// (closed → open → half-open → closed; instant event).
 	PhaseBreaker Phase = "breaker"
+	// PhaseAdmit marks a serving-gateway admission decision that rejected a
+	// request (tenant quota exhausted or class queue share full; instant
+	// event). Admitted requests are not marked — at millions of offloads the
+	// interesting signal is the rejections.
+	PhaseAdmit Phase = "admit"
+	// PhaseSteal marks an idle VE stealing half of the longest per-VE queue
+	// in the serving gateway (instant event).
+	PhaseSteal Phase = "steal"
 )
 
 // NodeInfra marks spans recorded by shared infrastructure (DMA engines, VEO
